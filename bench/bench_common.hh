@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared formatting helpers for the table/figure-regeneration benches.
+ */
+
+#ifndef LTP_BENCH_BENCH_COMMON_HH
+#define LTP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "dsm/experiment.hh"
+
+namespace ltp::bench
+{
+
+/** Print the Table 1 system configuration banner. */
+inline void
+printSystemBanner()
+{
+    SystemParams p;
+    std::printf("# System configuration (paper Table 1)\n");
+    std::printf("#   nodes=%u  blockSize=%uB  memAccess=%llu cyc  "
+                "netLatency=%llu cyc\n",
+                unsigned(p.numNodes), p.cache.blockSize,
+                (unsigned long long)p.dir.memAccess,
+                (unsigned long long)p.net.flightLatency);
+    std::printf("#   two-stage pipelined directory engine, NI contention "
+                "modeled, unbounded network cache\n");
+}
+
+/** Percentage with one decimal. */
+inline double
+pct(double f)
+{
+    return 100.0 * f;
+}
+
+} // namespace ltp::bench
+
+#endif // LTP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the hot structures: trace
+ * signature updates, predictor touch/learn paths, the event queue, and
+ * end-to-end simulated-cycles-per-wall-second for a small system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dsm/experiment.hh"
+#include "predictor/last_pc.hh"
+#include "predictor/ltp_global.hh"
+#include "predictor/ltp_per_block.hh"
+#include "predictor/signature.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace ltp;
+
+void
+BM_SignatureExtend(benchmark::State &state)
+{
+    Signature sig = Signature::init(0x4000, unsigned(state.range(0)));
+    Pc pc = 0x4004;
+    for (auto _ : state) {
+        sig = sig.extend(pc);
+        benchmark::DoNotOptimize(sig);
+    }
+}
+BENCHMARK(BM_SignatureExtend)->Arg(30)->Arg(13)->Arg(6);
+
+template <typename Pred>
+void
+predictorTouchLoop(benchmark::State &state)
+{
+    Pred pred;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        Addr blk = (i % 1024) * 32;
+        bool fill = (i % 8) == 0;
+        benchmark::DoNotOptimize(
+            pred.onTouch(blk, 0x1000 + (i % 16) * 4, false, fill));
+        if (i % 8 == 7)
+            pred.onInvalidation(blk);
+        ++i;
+    }
+}
+
+void
+BM_LtpPerBlockTouch(benchmark::State &state)
+{
+    predictorTouchLoop<LtpPerBlock>(state);
+}
+BENCHMARK(BM_LtpPerBlockTouch);
+
+void
+BM_LtpGlobalTouch(benchmark::State &state)
+{
+    predictorTouchLoop<LtpGlobal>(state);
+}
+BENCHMARK(BM_LtpGlobalTouch);
+
+void
+BM_LastPcTouch(benchmark::State &state)
+{
+    predictorTouchLoop<LastPcPredictor>(state);
+}
+BENCHMARK(BM_LastPcTouch);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleAt(Tick(i % 97), [] {});
+        eq.run();
+        benchmark::DoNotOptimize(eq.eventsExecuted());
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EndToEndEm3d(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ExperimentSpec spec;
+        spec.kernel = "em3d";
+        spec.predictor = PredictorKind::LtpPerBlock;
+        spec.mode = PredictorMode::Passive;
+        spec.iterScale = 0.1;
+        RunResult r = runExperiment(spec);
+        benchmark::DoNotOptimize(r.cycles);
+        state.counters["simCycles"] = double(r.cycles);
+    }
+}
+BENCHMARK(BM_EndToEndEm3d)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A migratory-sharing study on the public API: a shared counter updated
+ * in turn by every node — the sharing pattern that makes DSI's
+ * versioning heuristic refuse candidacy (the "exclusive request by the
+ * only read-copy holder" exception) while trace prediction handles it.
+ *
+ * Demonstrates: custom kernels with locks, per-predictor comparison,
+ * and reading directory statistics off a run.
+ *
+ *   $ ./examples/migratory_counter
+ */
+
+#include <cstdio>
+
+#include "dsm/system.hh"
+
+namespace
+{
+
+using namespace ltp;
+
+class MigratoryCounter : public KernelBase
+{
+  public:
+    std::string name() const override { return "migratory-counter"; }
+
+    void
+    setup(AddressSpace &as, MemoryValues &mem,
+          const KernelConfig &cfg) override
+    {
+        cfg_ = cfg;
+        counters_ = cfg.size;
+        Addr base = as.allocStriped("mig.counters", counters_);
+        addr_.clear();
+        for (unsigned c = 0; c < counters_; ++c) {
+            addr_.push_back(as.stripedBlock(base, c));
+            mem.store(addr_[c], 0);
+        }
+    }
+
+    Task<void>
+    run(ThreadCtx &ctx) override
+    {
+        constexpr Pc pc_read = 0x200;
+        constexpr Pc pc_write = 0x204;
+        NodeId n = ctx.id();
+        // Round-robin: each node updates each counter once per round,
+        // staggered so counters migrate node to node.
+        for (unsigned it = 0; it < cfg_.iters; ++it) {
+            for (unsigned k = 0; k < counters_; ++k) {
+                unsigned c = (k + n) % counters_;
+                std::uint64_t v = co_await ctx.load(pc_read, addr_[c]);
+                co_await ctx.store(pc_write, addr_[c], v + 1);
+                co_await ctx.compute(60);
+            }
+            co_await barrier(ctx);
+        }
+    }
+
+  private:
+    std::vector<Addr> addr_;
+    unsigned counters_ = 0;
+};
+
+void
+report(const char *label, PredictorKind kind)
+{
+    SystemParams params = SystemParams::withPredictor(
+        kind, PredictorMode::Passive, 30);
+    params.numNodes = 16;
+    KernelConfig cfg;
+    cfg.iters = 24;
+    cfg.size = 24;
+
+    MigratoryCounter kernel;
+    DsmSystem system(params);
+    RunResult r = system.run(kernel, cfg);
+    std::printf("  %-8s: predicted %5.1f%%  mispredicted %5.1f%%  "
+                "(%llu invalidations)\n",
+                label, 100 * r.accuracy(), 100 * r.mispredictionRate(),
+                (unsigned long long)r.invalidations);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("migratory counters, 16 nodes\n");
+    report("dsi", PredictorKind::Dsi);
+    report("last-pc", PredictorKind::LastPc);
+    report("ltp", PredictorKind::LtpPerBlock);
+    std::printf("\nDSI's versioning skips migratory blocks by design; "
+                "the trace predictors learn the {read, write} pattern.\n");
+    return 0;
+}

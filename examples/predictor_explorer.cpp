@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Predictor design-space explorer: sweep predictor organizations and
+ * signature widths over one benchmark from the command line.
+ *
+ *   $ ./examples/predictor_explorer [kernel]        (default: tomcatv)
+ *
+ * Prints an accuracy/storage matrix — the kind of study Sections 5.2
+ * and 5.3 of the paper run — for the chosen workload.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dsm/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ltp;
+
+    std::string kernel = argc > 1 ? argv[1] : "tomcatv";
+    bool known = false;
+    for (const auto &name : allKernelNames())
+        known |= name == kernel;
+    if (!known) {
+        std::fprintf(stderr, "unknown kernel '%s'; choose one of:\n",
+                     kernel.c_str());
+        for (const auto &name : allKernelNames())
+            std::fprintf(stderr, "  %s\n", name.c_str());
+        return 1;
+    }
+
+    std::printf("predictor design space on '%s' (%s)\n", kernel.c_str(),
+                describeConfig(kernel, defaultConfig(kernel)).c_str());
+    std::printf("%-12s %6s %10s %10s %10s %10s\n", "organization",
+                "bits", "pred%", "mispred%", "ent/blk", "bytes/blk");
+
+    struct Row
+    {
+        const char *label;
+        PredictorKind kind;
+        unsigned bits;
+    };
+    const std::vector<Row> rows = {
+        {"last-pc", PredictorKind::LastPc, 30},
+        {"per-block", PredictorKind::LtpPerBlock, 30},
+        {"per-block", PredictorKind::LtpPerBlock, 13},
+        {"per-block", PredictorKind::LtpPerBlock, 11},
+        {"per-block", PredictorKind::LtpPerBlock, 6},
+        {"global", PredictorKind::LtpGlobal, 30},
+        {"global", PredictorKind::LtpGlobal, 13},
+        {"dsi", PredictorKind::Dsi, 0},
+    };
+
+    for (const Row &row : rows) {
+        ExperimentSpec spec;
+        spec.kernel = kernel;
+        spec.predictor = row.kind;
+        spec.mode = PredictorMode::Passive;
+        spec.sigBits = row.bits ? row.bits : 30;
+        RunResult r = runExperiment(spec);
+        std::printf("%-12s %6u %10.1f %10.1f", row.label, row.bits,
+                    100 * r.accuracy(), 100 * r.mispredictionRate());
+        if (r.storage.activeBlocks) {
+            std::printf(" %10.1f %10.1f\n", r.storage.entriesPerBlock(),
+                        r.storage.bytesPerBlock());
+        } else {
+            std::printf(" %10s %10s\n", "-", "-");
+        }
+    }
+    return 0;
+}

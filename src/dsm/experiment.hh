@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Experiment presets: one-call helpers that build a fresh DsmSystem,
+ * run one benchmark kernel under a given predictor configuration, and
+ * return the aggregate results. The bench/ binaries that regenerate the
+ * paper's tables and figures are thin loops over these helpers.
+ */
+
+#ifndef LTP_DSM_EXPERIMENT_HH
+#define LTP_DSM_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+
+#include "dsm/system.hh"
+
+namespace ltp
+{
+
+/** Everything needed to reproduce one (kernel, predictor) cell. */
+struct ExperimentSpec
+{
+    std::string kernel;
+    PredictorKind predictor = PredictorKind::Base;
+    /** Passive = accuracy methodology (Figs 6-8, Table 3);
+     *  Active = performance methodology (Fig 9, Table 4). */
+    PredictorMode mode = PredictorMode::Passive;
+    unsigned sigBits = 30;
+    /** Scale factor applied to the kernel's default iteration count. */
+    double iterScale = 1.0;
+    std::optional<KernelConfig> config; //!< overrides defaultConfig()
+    std::optional<NodeId> nodes;        //!< overrides 32
+};
+
+/** Run one experiment on a fresh system. */
+RunResult runExperiment(const ExperimentSpec &spec);
+
+/**
+ * Run the base system and one active predictor on the same kernel and
+ * inputs; returns (base cycles / predictor cycles) — Figure 9's speedup.
+ */
+struct SpeedupResult
+{
+    RunResult base;
+    RunResult pred;
+
+    double
+    speedup() const
+    {
+        return pred.cycles ? double(base.cycles) / double(pred.cycles)
+                           : 0.0;
+    }
+};
+
+SpeedupResult runSpeedup(const std::string &kernel, PredictorKind kind,
+                         unsigned sig_bits = 30);
+
+} // namespace ltp
+
+#endif // LTP_DSM_EXPERIMENT_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Whole-system configuration (the counterpart of the paper's Table 1).
+ */
+
+#ifndef LTP_DSM_PARAMS_HH
+#define LTP_DSM_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/network.hh"
+#include "predictor/ltp_per_block.hh"
+#include "proto/cache_controller.hh"
+#include "proto/dir_controller.hh"
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+/** Which self-invalidation scheme a run uses. */
+enum class PredictorKind
+{
+    Base,        //!< no self-invalidation
+    Dsi,         //!< Lebeck & Wood versioning + sync-boundary flush
+    LastPc,      //!< single-instruction correlation
+    LtpPerBlock, //!< trace-based, per-block tables (the paper's base LTP)
+    LtpGlobal,   //!< trace-based, global table
+};
+
+const char *predictorKindName(PredictorKind k);
+
+/** Full system configuration. Defaults reproduce Table 1. */
+struct SystemParams
+{
+    NodeId numNodes = 32;
+    unsigned pageSize = 4096;
+
+    CacheParams cache;   //!< 32 B blocks, unbounded (network cache)
+    DirParams dir;       //!< 104-cycle memory, two-stage pipelined engine
+    NetworkParams net;   //!< 80-cycle flight latency, NI contention
+
+    Tick barrierLatency = 200;
+
+    PredictorKind predictor = PredictorKind::Base;
+    PredictorMode mode = PredictorMode::Off;
+    LtpParams ltp; //!< signature width etc. (LTP and Last-PC variants)
+
+    /** Safety net: abort a run that exceeds this many cycles. */
+    Tick maxTicks = 4'000'000'000ull;
+
+    /** Convenience factories for the standard configurations. */
+    static SystemParams base();
+    static SystemParams withPredictor(PredictorKind kind,
+                                      PredictorMode mode,
+                                      unsigned sig_bits = 30);
+};
+
+} // namespace ltp
+
+#endif // LTP_DSM_PARAMS_HH

@@ -1,0 +1,171 @@
+#include "dsm/system.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "predictor/dsi.hh"
+#include "predictor/last_pc.hh"
+#include "predictor/ltp_global.hh"
+#include "predictor/ltp_per_block.hh"
+
+namespace ltp
+{
+
+const char *
+predictorKindName(PredictorKind k)
+{
+    switch (k) {
+      case PredictorKind::Base: return "base";
+      case PredictorKind::Dsi: return "dsi";
+      case PredictorKind::LastPc: return "last-pc";
+      case PredictorKind::LtpPerBlock: return "ltp";
+      case PredictorKind::LtpGlobal: return "ltp-global";
+    }
+    return "?";
+}
+
+SystemParams
+SystemParams::base()
+{
+    return SystemParams{};
+}
+
+SystemParams
+SystemParams::withPredictor(PredictorKind kind, PredictorMode mode,
+                            unsigned sig_bits)
+{
+    SystemParams p;
+    p.predictor = kind;
+    p.mode = kind == PredictorKind::Base ? PredictorMode::Off : mode;
+    p.ltp.sigBits = sig_bits;
+    return p;
+}
+
+DsmSystem::DsmSystem(SystemParams params)
+    : params_(params),
+      homes_(params.pageSize, params.numNodes),
+      as_(std::make_unique<AddressSpace>(homes_, params.cache.blockSize)),
+      net_(std::make_unique<Network>(eq_, params.numNodes, params.net,
+                                     stats_)),
+      sync_(std::make_unique<SyncDomain>(eq_, params.numNodes,
+                                         params.barrierLatency))
+{
+    for (NodeId n = 0; n < params_.numNodes; ++n) {
+        auto node = std::make_unique<DsmNode>();
+        node->predictor = makePredictor();
+        node->cacheCtrl = std::make_unique<CacheController>(
+            n, eq_, *net_, homes_, params_.cache, stats_);
+        node->cacheCtrl->setPredictor(node->predictor.get(), params_.mode);
+        node->dirCtrl = std::make_unique<DirController>(
+            n, eq_, *net_, params_.dir, stats_);
+        nodes_.push_back(std::move(node));
+    }
+
+    // Route inbound messages: requests, acks, writebacks and
+    // self-invalidations go to the home directory; invalidations and
+    // data replies go to the cache controller.
+    for (NodeId n = 0; n < params_.numNodes; ++n) {
+        net_->setSink(n, [this, n](const Message &msg) {
+            switch (msg.type) {
+              case MsgType::GetS:
+              case MsgType::GetX:
+              case MsgType::InvAck:
+              case MsgType::WbData:
+              case MsgType::SelfInvS:
+              case MsgType::SelfInvX:
+              case MsgType::EvictS:
+              case MsgType::EvictX:
+                nodes_[n]->dirCtrl->receive(msg);
+                break;
+              default:
+                nodes_[n]->cacheCtrl->receive(msg);
+                break;
+            }
+        });
+        // Verification outcomes train the self-invalidating node's
+        // predictor (hardware piggybacks these bits; see DESIGN.md).
+        nodes_[n]->dirCtrl->setVerifyHook(
+            [this](NodeId who, Addr blk, bool premature, bool timely) {
+                nodes_[who]->cacheCtrl->onDirVerify(blk, premature,
+                                                    timely);
+            });
+    }
+}
+
+DsmSystem::~DsmSystem() = default;
+
+std::unique_ptr<InvalidationPredictor>
+DsmSystem::makePredictor() const
+{
+    switch (params_.predictor) {
+      case PredictorKind::Base:
+        return std::make_unique<NullPredictor>();
+      case PredictorKind::Dsi:
+        return std::make_unique<DsiPredictor>();
+      case PredictorKind::LastPc:
+        return std::make_unique<LastPcPredictor>(params_.ltp);
+      case PredictorKind::LtpPerBlock:
+        return std::make_unique<LtpPerBlock>(params_.ltp);
+      case PredictorKind::LtpGlobal:
+        return std::make_unique<LtpGlobal>(params_.ltp);
+    }
+    return std::make_unique<NullPredictor>();
+}
+
+RunResult
+DsmSystem::run(KernelBase &kernel, const KernelConfig &cfg)
+{
+    if (!nodes_.front()->task.valid() && finished_ == 0) {
+        // first (and only) run on this system instance
+    } else {
+        throw std::logic_error("DsmSystem::run may only be called once");
+    }
+
+    KernelConfig actual = cfg;
+    actual.nodes = params_.numNodes;
+    kernel.setup(*as_, mem_, actual);
+
+    for (NodeId n = 0; n < params_.numNodes; ++n) {
+        DsmNode &node = *nodes_[n];
+        node.thread = std::make_unique<ThreadCtx>(
+            n, eq_, *node.cacheCtrl, mem_, *sync_, actual.seed);
+        node.onDone = [this] { ++finished_; };
+        node.task = kernel.run(*node.thread);
+        node.task.start(&node.onDone);
+    }
+
+    eq_.runUntil(params_.maxTicks);
+    bool completed = finished_ == params_.numNodes;
+    return collect(completed);
+}
+
+RunResult
+DsmSystem::collect(bool completed) const
+{
+    RunResult r;
+    r.completed = completed;
+    r.cycles = eq_.now();
+    r.invalidations = stats_.counterValue("pred.invalidations");
+    r.predicted = stats_.counterValue("pred.predicted");
+    r.notPredicted = stats_.counterValue("pred.notPredicted");
+    r.mispredicted = stats_.counterValue("pred.mispredicted");
+    r.dirQueueingMean = stats_.averageMean("dir.queueing");
+    r.dirServiceMean = stats_.averageMean("dir.service");
+    r.selfInvTimelyCorrect = stats_.counterValue("dir.selfInvTimelyCorrect");
+    r.selfInvLateCorrect = stats_.counterValue("dir.selfInvLateCorrect");
+    r.selfInvPremature = stats_.counterValue("dir.selfInvPremature");
+    r.selfInvsIssued = stats_.counterValue("pred.selfInvsIssued");
+
+    for (const auto &node : nodes_) {
+        if (node->thread)
+            r.memOps += node->thread->memOps();
+        if (auto s = node->predictor->storage()) {
+            r.storage.sigBits = s->sigBits;
+            r.storage.activeBlocks += s->activeBlocks;
+            r.storage.totalEntries += s->totalEntries;
+        }
+    }
+    return r;
+}
+
+} // namespace ltp

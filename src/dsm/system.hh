@@ -1,0 +1,136 @@
+/**
+ * @file
+ * DsmSystem: assembles the full simulated machine — event queue,
+ * network, one cache controller + directory controller + predictor per
+ * node — and runs a workload kernel on it.
+ *
+ * This is the library's main entry point:
+ *
+ *   auto kernel = makeKernel("em3d");
+ *   DsmSystem sys(SystemParams::withPredictor(
+ *       PredictorKind::LtpPerBlock, PredictorMode::Passive));
+ *   RunResult r = sys.run(*kernel, defaultConfig("em3d"));
+ *   // r.accuracy(), r.cycles, ...
+ */
+
+#ifndef LTP_DSM_SYSTEM_HH
+#define LTP_DSM_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dsm/params.hh"
+#include "kernel/kernels.hh"
+#include "kernel/sync.hh"
+#include "kernel/thread_ctx.hh"
+#include "mem/addr.hh"
+#include "mem/memory_values.hh"
+#include "net/network.hh"
+#include "predictor/invalidation_predictor.hh"
+#include "proto/cache_controller.hh"
+#include "proto/dir_controller.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace ltp
+{
+
+/** Aggregate results of one kernel execution. */
+struct RunResult
+{
+    bool completed = false; //!< all threads finished before maxTicks
+    Tick cycles = 0;
+    std::uint64_t memOps = 0;
+
+    // Prediction-accuracy accounting (Figures 6-8). The denominator is
+    // the number of (real or correctly-replaced) invalidations.
+    std::uint64_t invalidations = 0;
+    std::uint64_t predicted = 0;
+    std::uint64_t notPredicted = 0;
+    std::uint64_t mispredicted = 0;
+
+    // Directory observables (Table 4).
+    double dirQueueingMean = 0.0;
+    double dirServiceMean = 0.0;
+    std::uint64_t selfInvTimelyCorrect = 0;
+    std::uint64_t selfInvLateCorrect = 0;
+    std::uint64_t selfInvPremature = 0;
+    std::uint64_t selfInvsIssued = 0;
+
+    // Predictor storage (Table 3), aggregated over all nodes.
+    StorageStats storage;
+
+    double
+    fraction(std::uint64_t x) const
+    {
+        return invalidations ? double(x) / double(invalidations) : 0.0;
+    }
+
+    double accuracy() const { return fraction(predicted); }
+    double mispredictionRate() const { return fraction(mispredicted); }
+
+    /** Fraction of correct self-invalidations that arrived timely. */
+    double
+    timeliness() const
+    {
+        std::uint64_t correct = selfInvTimelyCorrect + selfInvLateCorrect;
+        return correct ? double(selfInvTimelyCorrect) / double(correct)
+                       : 0.0;
+    }
+};
+
+/** One DSM node's components. */
+struct DsmNode
+{
+    std::unique_ptr<InvalidationPredictor> predictor;
+    std::unique_ptr<CacheController> cacheCtrl;
+    std::unique_ptr<DirController> dirCtrl;
+    std::unique_ptr<ThreadCtx> thread;
+    Task<void> task;
+    std::function<void()> onDone;
+};
+
+/** The whole simulated machine. */
+class DsmSystem
+{
+  public:
+    explicit DsmSystem(SystemParams params);
+    ~DsmSystem();
+
+    DsmSystem(const DsmSystem &) = delete;
+    DsmSystem &operator=(const DsmSystem &) = delete;
+
+    /**
+     * Run @p kernel (with @p cfg inputs) to completion.
+     * The kernel's node count must equal the system's.
+     */
+    RunResult run(KernelBase &kernel, const KernelConfig &cfg);
+
+    const SystemParams &params() const { return params_; }
+    StatGroup &stats() { return stats_; }
+    EventQueue &eventQueue() { return eq_; }
+    Network &network() { return *net_; }
+    DsmNode &node(NodeId n) { return *nodes_[n]; }
+    MemoryValues &memory() { return mem_; }
+    AddressSpace &addressSpace() { return *as_; }
+
+  private:
+    std::unique_ptr<InvalidationPredictor> makePredictor() const;
+    RunResult collect(bool completed) const;
+
+    SystemParams params_;
+    StatGroup stats_;
+    EventQueue eq_;
+    HomeMap homes_;
+    MemoryValues mem_;
+    std::unique_ptr<AddressSpace> as_;
+    std::unique_ptr<Network> net_;
+    std::unique_ptr<SyncDomain> sync_;
+    std::vector<std::unique_ptr<DsmNode>> nodes_;
+    unsigned finished_ = 0;
+};
+
+} // namespace ltp
+
+#endif // LTP_DSM_SYSTEM_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * appbt (NAS): block-tridiagonal solver.
+ *
+ * Paper's characterization: "In appbt, most last-touches to data blocks
+ * are spread among different PCs. The application, however, uses
+ * spin-locks in a gaussian elimination phase. Last-PC predicts most of
+ * the data block last-touches, but fails to predict the last-touches to
+ * the spin-locks (75%). Because the spin-locks are not exposed to DSI,
+ * it fails to predict a large fraction of the invalidations (40%) and
+ * predicts 25% prematurely."
+ *
+ * Structure here: three sweep phases (x, y, z) per iteration, each with
+ * its own trio of PCs — a face block's last touch is a *different*,
+ * deterministic PC in every phase, which Last-PC handles fine. The
+ * gaussian-elimination phase uses UNANNOTATED spin locks (DSI never
+ * sees them). Readers re-read neighbor faces in the very next phase,
+ * so DSI's barrier-triggered flushes race the re-reads — the paper's
+ * 25% premature.
+ */
+
+#include "kernel/kernel_impls.hh"
+
+namespace ltp
+{
+
+namespace
+{
+// One PC trio per sweep phase: two reads of the neighbor face, one
+// write of the own face.
+// The x and y sweeps read the neighbor face with two distinct
+// (unrolled) instructions; the z sweep iterates over the k dimension,
+// so both reads come from the SAME loop instruction — the Last-PC
+// failure mode of Section 3.1.
+constexpr Pc pcRd1[3] = {0x6000, 0x6020, 0x6040};
+constexpr Pc pcRd2[3] = {0x6004, 0x6024, 0x6040};
+constexpr Pc pcWr[3] = {0x6008, 0x6028, 0x6048};
+constexpr Pc pcSeed[3] = {0x600c, 0x602c, 0x604c};
+// Gaussian elimination.
+constexpr LockPcs gaussLock = {0x6100, 0x6104, 0x6108};
+constexpr Pc pcGaussRd = 0x610c;
+constexpr Pc pcGaussWr = 0x6110;
+} // namespace
+
+void
+AppbtKernel::setup(AddressSpace &as, MemoryValues &mem,
+                   const KernelConfig &cfg)
+{
+    cfg_ = cfg;
+    faceBlocks_ = cfg.size;
+    locks_ = cfg.size2 ? cfg.size2 : 6;
+    unsigned bs = as.blockSize();
+
+    as.allocPerNode("appbt.face", std::uint64_t(faceBlocks_) * bs,
+                    cfg.nodes);
+    face_.clear();
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+        face_.push_back(as.chunkBase("appbt.face", n));
+        for (unsigned b = 0; b < faceBlocks_; ++b)
+            mem.store(face_[n] + Addr(b) * bs, 1);
+    }
+
+    Addr lk = as.allocStriped("appbt.locks", locks_);
+    Addr rows = as.allocStriped("appbt.rows", locks_);
+    lockAddr_.clear();
+    rowAddr_.clear();
+    for (unsigned l = 0; l < locks_; ++l) {
+        lockAddr_.push_back(as.stripedBlock(lk, l));
+        rowAddr_.push_back(as.stripedBlock(rows, l));
+        mem.store(rowAddr_[l], 1);
+    }
+}
+
+Task<void>
+AppbtKernel::sweep(ThreadCtx &ctx, unsigned phase)
+{
+    NodeId n = ctx.id();
+    NodeId left = (n + cfg_.nodes - 1) % cfg_.nodes;
+    unsigned bs = 32;
+
+    // Seed the sweep: re-read a subset of the previous phase's own-face
+    // results right at phase start — these are the post-synchronization
+    // touches that make DSI's barrier flush premature (Section 5.1).
+    for (unsigned b = 0; b < faceBlocks_; b += 3)
+        co_await ctx.load(pcSeed[phase], face_[n] + Addr(b) * bs);
+
+    // Gather: read the whole neighbor face first...
+    std::uint64_t acc = 0;
+    for (unsigned b = 0; b < faceBlocks_; ++b) {
+        Addr nbr = face_[left] + Addr(b) * bs;
+        acc += co_await ctx.load(pcRd1[phase], nbr);
+        acc += co_await ctx.load(pcRd2[phase], nbr + 8);
+        co_await ctx.compute(20);
+    }
+    // ...then update the own face. The gap between a reader's last
+    // touch and the owner's rewrite is what lets a self-invalidation
+    // reach the directory in time.
+    for (unsigned b = 0; b < faceBlocks_; ++b) {
+        Addr own = face_[n] + Addr(b) * bs;
+        co_await ctx.store(pcWr[phase], own, acc + b + phase);
+        co_await ctx.compute(20);
+    }
+}
+
+Task<void>
+AppbtKernel::gaussian(ThreadCtx &ctx)
+{
+    NodeId n = ctx.id();
+    // Pipelined elimination: nodes enter the pipeline staggered and
+    // visit the row locks starting at rotated offsets, keeping
+    // contention (and spin counts) low and regular.
+    co_await ctx.compute(Tick(n) * 150);
+    for (unsigned k = 0; k < locks_; ++k) {
+        unsigned l = (k + n) % locks_;
+        co_await acquireLock(ctx, lockAddr_[l], gaussLock,
+                             /*annotated=*/false);
+        std::uint64_t v = co_await ctx.load(pcGaussRd, rowAddr_[l]);
+        co_await ctx.store(pcGaussWr, rowAddr_[l], v + 1);
+        co_await releaseLock(ctx, lockAddr_[l], gaussLock,
+                             /*annotated=*/false);
+        co_await ctx.compute(80);
+    }
+}
+
+Task<void>
+AppbtKernel::run(ThreadCtx &ctx)
+{
+    for (unsigned it = 0; it < cfg_.iters; ++it) {
+        for (unsigned phase = 0; phase < 3; ++phase) {
+            co_await sweep(ctx, phase);
+            co_await barrier(ctx);
+        }
+        co_await gaussian(ctx);
+        co_await barrier(ctx);
+    }
+}
+
+} // namespace ltp

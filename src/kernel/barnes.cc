@@ -1,0 +1,117 @@
+/**
+ * @file
+ * barnes (SPLASH-2): Barnes-Hut N-body simulation.
+ *
+ * Paper's characterization: "the application's main data structure (an
+ * octree) changes dynamically and frequently. Due to frequent
+ * allocation/deallocation of dynamic memory, the last-touch signatures
+ * associated with blocks become obsolete... the resulting change in the
+ * data structure also changes the traces leading to a last-touch,
+ * continuously producing new last-touch signatures. LTP and Last-PC
+ * achieve accuracies of 22% and 20%. Because barnes is lock-intensive,
+ * DSI manages to predict invalidations after a critical section (42%)."
+ *
+ * Structure here: the tree is rebuilt every iteration with a different
+ * (seeded-random) mapping of logical tree cells to memory blocks —
+ * emulating the allocator churn — and both the insert walks and the
+ * force walks visit data-dependent, varying-depth paths, so traces for
+ * a given block keep changing. Tree updates happen under an ANNOTATED
+ * global lock, giving DSI its critical-section trigger.
+ */
+
+#include "kernel/kernel_impls.hh"
+
+namespace ltp
+{
+
+namespace
+{
+constexpr LockPcs treeLock = {0x8000, 0x8004, 0x8008};
+constexpr Pc pcWalk = 0x800c;   //!< insert walk: load tree cell
+constexpr Pc pcInsert = 0x8010; //!< insert: store tree cell
+constexpr Pc pcForce = 0x8014;  //!< force walk: load tree cell
+constexpr unsigned numLocks = 16;
+} // namespace
+
+void
+BarnesKernel::setup(AddressSpace &as, MemoryValues &mem,
+                    const KernelConfig &cfg)
+{
+    cfg_ = cfg;
+    treeBlocks_ = cfg.size;
+    bodiesPerNode_ = cfg.size2 ? cfg.size2 : 6;
+
+    Addr tb = as.allocStriped("barnes.tree", treeBlocks_);
+    tree_.clear();
+    for (unsigned t = 0; t < treeBlocks_; ++t) {
+        tree_.push_back(as.stripedBlock(tb, t));
+        mem.store(tree_[t], 1);
+    }
+    // Fine-grained cell locks, hashed by the leaf being inserted under.
+    Addr lk = as.allocStriped("barnes.locks", numLocks);
+    lockAddr_.clear();
+    for (unsigned l = 0; l < numLocks; ++l)
+        lockAddr_.push_back(as.stripedBlock(lk, l));
+}
+
+Task<void>
+BarnesKernel::run(ThreadCtx &ctx)
+{
+    NodeId n = ctx.id();
+
+    for (unsigned it = 0; it < cfg_.iters; ++it) {
+        // The allocator churn: this iteration's tree occupies a freshly
+        // permuted mapping of logical cells to memory blocks. (All
+        // nodes derive the same mapping from the iteration number.)
+        auto cell = [&](unsigned level, std::uint64_t id) {
+            Rng h(cfg_.seed + it * 1315423911ull + level * 2654435761ull +
+                  id);
+            return tree_[h.below(treeBlocks_)];
+        };
+
+        // Build phase: insert bodies under per-cell locks. Every walk
+        // passes through the upper levels, and how many times a cell
+        // block is touched between two of its invalidations depends on
+        // the (changing) tree shape — the per-life trace keeps shifting.
+        for (unsigned b = 0; b < bodiesPerNode_; ++b) {
+            unsigned depth = 2 + unsigned(ctx.rng().below(4));
+            std::uint64_t body = n * 131 + b;
+            Addr lock = lockAddr_[(body + it) % numLocks];
+            co_await acquireLock(ctx, lock, treeLock, /*annotated=*/true);
+            for (unsigned d = 0; d < depth; ++d) {
+                // Path prefix: level d has 2^d logical cells, so the
+                // root and its children are revisited by every walk.
+                std::uint64_t id = body & ((1ull << d) - 1);
+                Addr c = cell(d, id);
+                // Subdivision checks re-read a cell a data-dependent
+                // number of times before descending.
+                unsigned reads = 1 + unsigned(ctx.rng().below(2));
+                for (unsigned k = 0; k < reads; ++k)
+                    co_await ctx.load(pcWalk, c);
+            }
+            co_await ctx.store(pcInsert, cell(depth, body), n + 1);
+            co_await releaseLock(ctx, lock, treeLock, /*annotated=*/true);
+            co_await ctx.compute(60);
+        }
+        co_await barrier(ctx);
+
+        // Force phase: every node reads data-dependent, variable-depth
+        // paths through the (freshly rebuilt) tree, with data-dependent
+        // revisit counts per cell.
+        for (unsigned b = 0; b < bodiesPerNode_; ++b) {
+            unsigned depth = 2 + unsigned(ctx.rng().below(4));
+            std::uint64_t body = n * 977 + b * 7;
+            for (unsigned d = 0; d < depth; ++d) {
+                std::uint64_t id = body & ((1ull << d) - 1);
+                Addr c = cell(d, id);
+                unsigned reads = 1 + unsigned(ctx.rng().below(2));
+                for (unsigned k = 0; k < reads; ++k)
+                    co_await ctx.load(pcForce, c);
+            }
+            co_await ctx.compute(120);
+        }
+        co_await barrier(ctx);
+    }
+}
+
+} // namespace ltp

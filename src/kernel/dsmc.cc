@@ -1,0 +1,142 @@
+/**
+ * @file
+ * dsmc: discrete-simulation Monte Carlo of particle movement in a 3D
+ * box (Moon & Saltz).
+ *
+ * Paper's characterization: "In dsmc communication occurs through
+ * message buffers implemented through a library. Multiple calls to the
+ * messaging code in the same computation phase result in multiple
+ * accesses to a block by the same instruction, preventing Last-PC from
+ * accurately predicting invalidations. Subsequent accesses to the main
+ * data structure beyond the synchronization in the message buffers
+ * significantly reduce DSI's ability to predict and result in a large
+ * number of mispredictions." For Figure 9: computation overlaps most
+ * invalidations, so self-invalidation has little performance impact.
+ *
+ * Structure here: sendMsg()/recvMsg() are real library procedures whose
+ * single load/store instructions walk whole buffers. Cell blocks are
+ * deposited into by a neighbor (so they are versioned as actively
+ * shared) and — crucially — touched by their owner again AFTER the
+ * barrier, which makes DSI's barrier flush premature. Heavy collision
+ * compute keeps misses off the critical path.
+ */
+
+#include "kernel/kernel_impls.hh"
+
+namespace ltp
+{
+
+namespace
+{
+constexpr Pc pcSend = 0x7000;   //!< sendMsg: the one store instruction
+constexpr Pc pcRecv = 0x7004;   //!< recvMsg: the one load instruction
+constexpr Pc pcCellRd = 0x7008; //!< collision: load own cell
+constexpr Pc pcPostRd = 0x7010; //!< post-barrier cell touch-up (load)
+constexpr Pc pcPostWr = 0x7014; //!< post-barrier cell touch-up (store)
+constexpr Pc pcDepWr = 0x701c;  //!< neighbor deposit: store cell
+} // namespace
+
+void
+DsmcKernel::setup(AddressSpace &as, MemoryValues &mem,
+                  const KernelConfig &cfg)
+{
+    cfg_ = cfg;
+    msgWords_ = cfg.size;
+    cellBlocks_ = cfg.size2 ? cfg.size2 : 8;
+    unsigned bs = as.blockSize();
+
+    // One inbound buffer per (receiver, direction), homed at the
+    // receiver — the library's mailbox layout.
+    std::uint64_t buf_bytes = std::uint64_t(msgWords_) * 8 * 2;
+    as.allocPerNode("dsmc.buf", buf_bytes, cfg.nodes);
+    as.allocPerNode("dsmc.cells", std::uint64_t(cellBlocks_) * bs,
+                    cfg.nodes);
+    buf_.clear();
+    cells_.clear();
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+        buf_.push_back(as.chunkBase("dsmc.buf", n));
+        cells_.push_back(as.chunkBase("dsmc.cells", n));
+        for (unsigned b = 0; b < cellBlocks_; ++b)
+            mem.store(cells_[n] + Addr(b) * bs, 1);
+    }
+}
+
+Task<void>
+DsmcKernel::sendMsg(ThreadCtx &ctx, Addr buf, unsigned words)
+{
+    // The library's packing loop: one store instruction walks the
+    // buffer, touching each block four times.
+    for (unsigned w = 0; w < words; ++w)
+        co_await ctx.store(pcSend, buf + Addr(w) * 8, w + 1);
+    // The library's delivery handshake is a synchronization the DSM
+    // hardware sees (annotated flag write). DSI flushes its candidate
+    // list here — including cell blocks the node is still working on,
+    // which is the paper's "accesses beyond the synchronization in the
+    // message buffers" misprediction source.
+    ctx.syncBoundary();
+}
+
+Task<void>
+DsmcKernel::recvMsg(ThreadCtx &ctx, Addr buf, unsigned words)
+{
+    for (unsigned w = 0; w < words; ++w)
+        co_await ctx.load(pcRecv, buf + Addr(w) * 8);
+}
+
+Task<void>
+DsmcKernel::run(ThreadCtx &ctx)
+{
+    NodeId n = ctx.id();
+    NodeId right = (n + 1) % cfg_.nodes;
+    NodeId left = (n + cfg_.nodes - 1) % cfg_.nodes;
+    unsigned bs = 32;
+    std::uint64_t msg_bytes = std::uint64_t(msgWords_) * 8;
+    // Message sizes differ per destination (particle flux is uneven),
+    // so partial buffer blocks produce traces that are prefixes of full
+    // blocks' traces — per-block tables keep them apart, a global table
+    // aliases them.
+    unsigned words_right = 5 + (n % (msgWords_ - 4));
+    unsigned words_left = 5 + ((n + 3) % (msgWords_ - 4));
+
+    for (unsigned it = 0; it < cfg_.iters; ++it) {
+        // Move phase: ship outgoing particles to both neighbors through
+        // the library (two calls, same instructions, different blocks).
+        co_await sendMsg(ctx, buf_[right] + 0 * msg_bytes, words_right);
+        co_await sendMsg(ctx, buf_[left] + 1 * msg_bytes, words_left);
+
+        // Deposit particles directly into the right neighbor's cells
+        // (blind stores: keeps cell blocks actively shared / versioned).
+        for (unsigned d = 0; d < cellBlocks_ / 2; ++d) {
+            Addr cell = cells_[right] + Addr((it + d) % cellBlocks_) * bs;
+            co_await ctx.store(pcDepWr, cell, it + d);
+        }
+        co_await barrier(ctx);
+
+        // Unpack both inbound buffers (library calls again).
+        unsigned in_left = 5 + (left % (msgWords_ - 4));
+        unsigned in_right = 5 + ((right + 3) % (msgWords_ - 4));
+        co_await recvMsg(ctx, buf_[n] + 0 * msg_bytes, in_left);
+        co_await recvMsg(ctx, buf_[n] + 1 * msg_bytes, in_right);
+
+        // Collision phase: heavy compute over own cells (reads only;
+        // results accumulate in private scratch).
+        for (unsigned b = 0; b < cellBlocks_; ++b) {
+            Addr cell = cells_[n] + Addr(b) * bs;
+            co_await ctx.load(pcCellRd, cell);
+            co_await ctx.compute(2600);
+        }
+        co_await barrier(ctx);
+
+        // The accesses "beyond the synchronization": the owner touches
+        // its cells again right after the barrier — DSI just flushed
+        // them.
+        for (unsigned b = 0; b < cellBlocks_; ++b) {
+            Addr cell = cells_[n] + Addr(b) * bs;
+            std::uint64_t v = co_await ctx.load(pcPostRd, cell);
+            co_await ctx.store(pcPostWr, cell, v + 1);
+        }
+        co_await barrier(ctx);
+    }
+}
+
+} // namespace ltp

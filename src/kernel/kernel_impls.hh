@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Declarations of the nine benchmark kernels (one definition file each).
+ *
+ * Every kernel reproduces the sharing structure the paper attributes to
+ * the corresponding application in Section 5.1; the per-kernel comments
+ * in the .cc files spell out the mapping. PC constants are per-static-
+ * site, exactly like instruction addresses in compiled code.
+ */
+
+#ifndef LTP_KERNEL_KERNEL_IMPLS_HH
+#define LTP_KERNEL_KERNEL_IMPLS_HH
+
+#include <utility>
+#include <vector>
+
+#include "kernel/kernels.hh"
+#include "kernel/sync.hh"
+
+namespace ltp
+{
+
+/** NAS appbt: multi-PC sweep phases + unannotated spin locks. */
+class AppbtKernel : public KernelBase
+{
+  public:
+    std::string name() const override { return "appbt"; }
+    void setup(AddressSpace &as, MemoryValues &mem,
+               const KernelConfig &cfg) override;
+    Task<void> run(ThreadCtx &ctx) override;
+
+  private:
+    Task<void> sweep(ThreadCtx &ctx, unsigned phase);
+    Task<void> gaussian(ThreadCtx &ctx);
+
+    std::vector<Addr> face_;     //!< per-node face chunk bases
+    std::vector<Addr> lockAddr_; //!< gaussian row locks
+    std::vector<Addr> rowAddr_;  //!< gaussian shared rows
+    unsigned faceBlocks_ = 0;
+    unsigned locks_ = 0;
+};
+
+/** SPLASH-2 barnes: dynamically rebuilt octree, lock-intensive. */
+class BarnesKernel : public KernelBase
+{
+  public:
+    std::string name() const override { return "barnes"; }
+    void setup(AddressSpace &as, MemoryValues &mem,
+               const KernelConfig &cfg) override;
+    Task<void> run(ThreadCtx &ctx) override;
+
+  private:
+    std::vector<Addr> tree_;     //!< tree cell blocks
+    std::vector<Addr> lockAddr_; //!< fine-grained cell locks
+    unsigned treeBlocks_ = 0;
+    unsigned bodiesPerNode_ = 0;
+};
+
+/** dsmc: library message buffers + cells touched across barriers. */
+class DsmcKernel : public KernelBase
+{
+  public:
+    std::string name() const override { return "dsmc"; }
+    void setup(AddressSpace &as, MemoryValues &mem,
+               const KernelConfig &cfg) override;
+    Task<void> run(ThreadCtx &ctx) override;
+
+  private:
+    Task<void> sendMsg(ThreadCtx &ctx, Addr buf, unsigned words);
+    Task<void> recvMsg(ThreadCtx &ctx, Addr buf, unsigned words);
+
+    std::vector<Addr> buf_;   //!< per-receiver mailbox bases
+    std::vector<Addr> cells_; //!< per-node cell chunk bases
+    unsigned msgWords_ = 0;
+    unsigned cellBlocks_ = 0;
+};
+
+/** Split-C em3d: static bipartite graph, single-touch blocks. */
+class Em3dKernel : public KernelBase
+{
+  public:
+    std::string name() const override { return "em3d"; }
+    void setup(AddressSpace &as, MemoryValues &mem,
+               const KernelConfig &cfg) override;
+    Task<void> run(ThreadCtx &ctx) override;
+
+  private:
+    unsigned perNode_ = 0;
+    std::vector<std::vector<Addr>> eAddr_;
+    std::vector<std::vector<Addr>> hAddr_;
+    /** deps_[phase][node][i] = the two dependency addresses. */
+    std::vector<std::vector<std::vector<std::pair<Addr, Addr>>>> deps_;
+};
+
+/** moldyn: read-shared positions + migratory force reduction. */
+class MoldynKernel : public KernelBase
+{
+  public:
+    std::string name() const override { return "moldyn"; }
+    void setup(AddressSpace &as, MemoryValues &mem,
+               const KernelConfig &cfg) override;
+    Task<void> run(ThreadCtx &ctx) override;
+
+  private:
+    std::vector<Addr> forceAddr_;
+    std::vector<Addr> posAddr_;
+    std::vector<std::vector<unsigned>> posSample_;
+    unsigned forceBlocks_ = 0;
+    unsigned posBlocks_ = 0;
+};
+
+/** SPLASH-2 ocean: red/black SOR via a twice-invoked procedure. */
+class OceanKernel : public KernelBase
+{
+  public:
+    std::string name() const override { return "ocean"; }
+    void setup(AddressSpace &as, MemoryValues &mem,
+               const KernelConfig &cfg) override;
+    Task<void> run(ThreadCtx &ctx) override;
+
+  private:
+    Task<void> sorPass(ThreadCtx &ctx, unsigned color);
+
+    std::vector<Addr> boundary_; //!< per-node boundary chunk bases
+    std::vector<Addr> fluxAddr_; //!< per-adjacent-pair flux blocks
+    std::vector<Addr> diag_;     //!< per-node diagonal-term chunk bases
+    unsigned blocksPerNode_ = 0;
+};
+
+/** SPLASH-2 raytrace: lock-protected global work pool. */
+class RaytraceKernel : public KernelBase
+{
+  public:
+    std::string name() const override { return "raytrace"; }
+    void setup(AddressSpace &as, MemoryValues &mem,
+               const KernelConfig &cfg) override;
+    Task<void> run(ThreadCtx &ctx) override;
+
+  private:
+    Addr lockAddr_ = 0;
+    Addr counterAddr_ = 0;
+    Addr headerAddr_ = 0;
+    std::vector<Addr> jobAddr_;
+    unsigned jobs_ = 0;
+};
+
+/** SPEC tomcatv: column-packed stencil with inner/outer boundary reads. */
+class TomcatvKernel : public KernelBase
+{
+  public:
+    std::string name() const override { return "tomcatv"; }
+    void setup(AddressSpace &as, MemoryValues &mem,
+               const KernelConfig &cfg) override;
+    Task<void> run(ThreadCtx &ctx) override;
+
+    /** Column-major element address (tests use this too). */
+    Addr elemAddr(unsigned col, unsigned row) const;
+
+  private:
+    std::vector<Addr> chunk_; //!< per-node column-band bases
+    unsigned rows_ = 0;
+    unsigned colsPerNode_ = 0;
+};
+
+/** unstructured: edge-based mesh sweep, migratory read-modify-writes. */
+class UnstructuredKernel : public KernelBase
+{
+  public:
+    std::string name() const override { return "unstructured"; }
+    void setup(AddressSpace &as, MemoryValues &mem,
+               const KernelConfig &cfg) override;
+    Task<void> run(ThreadCtx &ctx) override;
+
+  private:
+    std::vector<Addr> vertChunk_;
+    std::vector<Addr> coefAddr_;
+    unsigned vertsPerNode_ = 0;
+    /** edges_[node] = remote vertex addresses swept each iteration. */
+    std::vector<std::vector<Addr>> edges_;
+};
+
+} // namespace ltp
+
+#endif // LTP_KERNEL_KERNEL_IMPLS_HH

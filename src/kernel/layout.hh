@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared-address-space layout for workload kernels.
+ *
+ * Kernels allocate named regions pinned to chosen home nodes (emulating
+ * the careful page placement all the paper's benchmarks use). The
+ * allocator is page-granular so region homes never interfere.
+ */
+
+#ifndef LTP_KERNEL_LAYOUT_HH
+#define LTP_KERNEL_LAYOUT_HH
+
+#include <cassert>
+#include <map>
+#include <string>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+/** Page-granular region allocator over the simulated address space. */
+class AddressSpace
+{
+  public:
+    AddressSpace(HomeMap &homes, unsigned block_size)
+        : homes_(homes), blockMath_(block_size)
+    {
+    }
+
+    unsigned blockSize() const { return blockMath_.blockSize(); }
+    const BlockMath &blockMath() const { return blockMath_; }
+    HomeMap &homes() { return homes_; }
+
+    /**
+     * Allocate @p bytes pinned to @p home; returns the page-aligned base.
+     */
+    Addr
+    alloc(const std::string &name, std::uint64_t bytes, NodeId home)
+    {
+        assert(bytes > 0);
+        Addr base = next_;
+        std::uint64_t page = homes_.pageSize();
+        std::uint64_t span = ((bytes + page - 1) / page) * page;
+        homes_.pinRange(base, span, home);
+        next_ += span;
+        regions_[name] = Region{base, bytes, home};
+        return base;
+    }
+
+    /**
+     * Allocate one chunk of @p bytes_per_node per node, each pinned to
+     * its node; returns the base of node 0's chunk. Chunk i starts at
+     * chunkBase(base, i).
+     */
+    Addr
+    allocPerNode(const std::string &name, std::uint64_t bytes_per_node,
+                 NodeId nodes)
+    {
+        std::uint64_t page = homes_.pageSize();
+        chunkSpan_[name] =
+            ((bytes_per_node + page - 1) / page) * page;
+        Addr base = next_;
+        for (NodeId n = 0; n < nodes; ++n)
+            alloc(name + "." + std::to_string(n), bytes_per_node, n);
+        perNodeBase_[name] = base;
+        return base;
+    }
+
+    /** Base address of node @p i's chunk in a per-node region. */
+    Addr
+    chunkBase(const std::string &name, NodeId i) const
+    {
+        auto bit = perNodeBase_.find(name);
+        auto sit = chunkSpan_.find(name);
+        assert(bit != perNodeBase_.end() && sit != chunkSpan_.end());
+        return bit->second + Addr(i) * sit->second;
+    }
+
+    /**
+     * Allocate @p blocks cache blocks striped block-by-block across all
+     * nodes (block i homed at node i % numNodes). Each block sits in its
+     * own page (the address space is sparse, so this costs nothing) —
+     * this emulates fine-grain round-robin placement of small global
+     * structures. Block i lives at stripedBlock(base, i).
+     */
+    Addr
+    allocStriped(const std::string &name, unsigned blocks)
+    {
+        Addr base = next_;
+        std::uint64_t page = homes_.pageSize();
+        for (unsigned i = 0; i < blocks; ++i) {
+            homes_.pinRange(base + Addr(i) * page, page,
+                            NodeId(i % homes_.numNodes()));
+        }
+        next_ += Addr(blocks) * page;
+        regions_[name] = Region{base, Addr(blocks) * page, invalidNode};
+        return base;
+    }
+
+    /** Address of striped block @p i in a region from allocStriped(). */
+    Addr
+    stripedBlock(Addr base, unsigned i) const
+    {
+        return base + Addr(i) * homes_.pageSize();
+    }
+
+    /** Region base by name (0 if absent). */
+    Addr
+    regionBase(const std::string &name) const
+    {
+        auto it = regions_.find(name);
+        return it == regions_.end() ? 0 : it->second.base;
+    }
+
+    std::size_t numRegions() const { return regions_.size(); }
+
+  private:
+    struct Region
+    {
+        Addr base;
+        std::uint64_t bytes;
+        NodeId home;
+    };
+
+    HomeMap &homes_;
+    BlockMath blockMath_;
+    Addr next_ = 0x10000; // leave page zero unused
+    std::map<std::string, Region> regions_;
+    std::map<std::string, Addr> perNodeBase_;
+    std::map<std::string, std::uint64_t> chunkSpan_;
+};
+
+} // namespace ltp
+
+#endif // LTP_KERNEL_LAYOUT_HH

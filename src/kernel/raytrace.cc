@@ -1,0 +1,96 @@
+/**
+ * @file
+ * raytrace (SPLASH-2): ray tracing with a lock-protected global work
+ * pool.
+ *
+ * Paper's characterization: "there is a global workpool holding the
+ * jobs, protected by a lock. Invalidations of the global workpool are
+ * on the execution's critical path... jobs are assigned to one
+ * processor at a time, so memory blocks exhibit a migratory sharing
+ * pattern and DSI exhibits a low prediction accuracy. Both Last-PC and
+ * LTP successfully predict the migratory blocks, achieving 50%." And
+ * (5.4): "LTP cannot correctly self-invalidate the critical-section
+ * locks because they spin a variable number of times per visit."
+ *
+ * Structure here: a single test-and-set lock guards a job counter.
+ * Per-job processing time is (deterministically) random, so lock
+ * contention — and thus each visit's spin count — varies, defeating
+ * trace prediction on the lock block. The counter and job blocks
+ * migrate cleanly and are predictable.
+ */
+
+#include "kernel/kernel_impls.hh"
+
+namespace ltp
+{
+
+namespace
+{
+constexpr LockPcs poolLock = {0x9000, 0x9004, 0x9008};
+constexpr Pc pcCtrRd = 0x900c; //!< read the next-job counter
+constexpr Pc pcCtrWr = 0x9010; //!< bump the next-job counter
+constexpr Pc pcJobRd1 = 0x9014;
+constexpr Pc pcJobRd2 = 0x9018;
+constexpr Pc pcJobWr = 0x901c; //!< mark the job taken
+constexpr Pc pcHdrRd = 0x9020; //!< read the pool header (in the CS)
+constexpr Pc pcHdrWr = 0x9024; //!< repartition: rewrite the header
+} // namespace
+
+void
+RaytraceKernel::setup(AddressSpace &as, MemoryValues &mem,
+                      const KernelConfig &cfg)
+{
+    cfg_ = cfg;
+    jobs_ = cfg.size;
+
+    lockAddr_ = as.allocStriped("raytrace.lock", 1);
+    Addr ctr = as.allocStriped("raytrace.counter", 1);
+    counterAddr_ = ctr;
+    mem.store(counterAddr_, 0);
+    headerAddr_ = as.allocStriped("raytrace.header", 1);
+    mem.store(headerAddr_, 1);
+
+    Addr jb = as.allocStriped("raytrace.jobs", jobs_);
+    jobAddr_.clear();
+    for (unsigned j = 0; j < jobs_; ++j) {
+        jobAddr_.push_back(as.stripedBlock(jb, j));
+        mem.store(jobAddr_[j], j + 1);
+    }
+}
+
+Task<void>
+RaytraceKernel::run(ThreadCtx &ctx)
+{
+    for (;;) {
+        // A short backoff cap keeps the waiters actively re-reading the
+        // lock word, so each visit's spin count varies with contention —
+        // the behaviour that defeats trace prediction on this block.
+        co_await acquireLock(ctx, lockAddr_, poolLock, /*annotated=*/true,
+                             /*max_backoff=*/64);
+        std::uint64_t idx = co_await ctx.load(pcCtrRd, counterAddr_);
+        // Consult the pool header: read-mostly critical-section data —
+        // the blocks DSI's critical-section flushes do help with.
+        co_await ctx.load(pcHdrRd, headerAddr_);
+        if (idx % 8 == 7)
+            co_await ctx.store(pcHdrWr, headerAddr_, idx);
+        // Inspect / repartition the work pool while holding the lock;
+        // the variable hold time is what makes each waiter's spin count
+        // differ from visit to visit.
+        co_await ctx.compute(200 + ctx.rng().below(2200));
+        co_await ctx.store(pcCtrWr, counterAddr_, idx + 1);
+        co_await releaseLock(ctx, lockAddr_, poolLock, /*annotated=*/true);
+        if (idx >= jobs_)
+            break;
+
+        // Trace the rays of this job: read the job descriptor twice,
+        // mark it taken, then compute for a variable amount of time.
+        Addr job = jobAddr_[idx];
+        std::uint64_t a = co_await ctx.load(pcJobRd1, job);
+        std::uint64_t b = co_await ctx.load(pcJobRd2, job + 8);
+        co_await ctx.store(pcJobWr, job, a + b);
+        co_await ctx.compute(200 + ctx.rng().below(1800));
+    }
+    co_await barrier(ctx);
+}
+
+} // namespace ltp

@@ -1,0 +1,103 @@
+#include "kernel/kernels.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "kernel/kernel_impls.hh"
+
+namespace ltp
+{
+
+const std::vector<std::string> &
+allKernelNames()
+{
+    static const std::vector<std::string> names = {
+        "appbt",    "barnes",  "dsmc",    "em3d",        "moldyn",
+        "ocean",    "raytrace", "tomcatv", "unstructured",
+    };
+    return names;
+}
+
+std::unique_ptr<KernelBase>
+makeKernel(const std::string &name)
+{
+    if (name == "appbt")
+        return std::make_unique<AppbtKernel>();
+    if (name == "barnes")
+        return std::make_unique<BarnesKernel>();
+    if (name == "dsmc")
+        return std::make_unique<DsmcKernel>();
+    if (name == "em3d")
+        return std::make_unique<Em3dKernel>();
+    if (name == "moldyn")
+        return std::make_unique<MoldynKernel>();
+    if (name == "ocean")
+        return std::make_unique<OceanKernel>();
+    if (name == "raytrace")
+        return std::make_unique<RaytraceKernel>();
+    if (name == "tomcatv")
+        return std::make_unique<TomcatvKernel>();
+    if (name == "unstructured")
+        return std::make_unique<UnstructuredKernel>();
+    throw std::invalid_argument("unknown kernel: " + name);
+}
+
+KernelConfig
+defaultConfig(const std::string &name)
+{
+    // Our analogue of Table 2: inputs scaled so each simulation finishes
+    // in seconds while preserving enough sharing phases for predictors
+    // to train and be measured.
+    KernelConfig cfg;
+    cfg.nodes = 32;
+    if (name == "appbt") {
+        cfg.iters = 28;
+        cfg.size = 24; // face blocks per node
+        cfg.size2 = 6; // gaussian row locks
+    } else if (name == "barnes") {
+        cfg.iters = 20;
+        cfg.size = 96; // tree blocks
+        cfg.size2 = 6; // bodies per node
+    } else if (name == "dsmc") {
+        cfg.iters = 48;
+        cfg.size = 8;   // message words per neighbor
+        cfg.size2 = 12; // cell blocks per node
+    } else if (name == "em3d") {
+        cfg.iters = 40;
+        cfg.size = 48; // graph values per node per field
+    } else if (name == "moldyn") {
+        cfg.iters = 24;
+        cfg.size = 32;  // force blocks (global)
+        cfg.size2 = 32; // position blocks (global)
+    } else if (name == "ocean") {
+        cfg.iters = 32;
+        cfg.size = 8; // boundary blocks per node
+    } else if (name == "raytrace") {
+        cfg.iters = 1;
+        cfg.size = 320; // jobs in the global pool
+    } else if (name == "tomcatv") {
+        cfg.iters = 28;
+        cfg.size = 32; // rows (8 blocks per column)
+        cfg.size2 = 3; // columns per node
+    } else if (name == "unstructured") {
+        cfg.iters = 32;
+        cfg.size = 16; // vertices per node (4 blocks)
+        cfg.size2 = 3; // edges per boundary block
+    } else {
+        throw std::invalid_argument("unknown kernel: " + name);
+    }
+    return cfg;
+}
+
+std::string
+describeConfig(const std::string &name, const KernelConfig &cfg)
+{
+    std::ostringstream oss;
+    oss << name << " nodes=" << cfg.nodes << " iters=" << cfg.iters
+        << " size=" << cfg.size;
+    if (cfg.size2)
+        oss << " size2=" << cfg.size2;
+    return oss.str();
+}
+
+} // namespace ltp

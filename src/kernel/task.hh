@@ -1,0 +1,232 @@
+/**
+ * @file
+ * A minimal C++20 coroutine task type for simulated threads.
+ *
+ * Workload kernels are written as coroutines that co_await memory
+ * operations; the simulator suspends the kernel until the coherence
+ * protocol completes the access. Task<T> supports nesting (a kernel can
+ * co_await a helper "procedure" — which is exactly how the paper's
+ * Figure 3(b) last-touch-in-a-procedure patterns arise).
+ *
+ * Tasks are lazy: creation does not run any code. A parent either
+ * co_awaits the task (symmetric transfer) or, for the per-node root
+ * task, the Processor starts it explicitly.
+ */
+
+#ifndef LTP_KERNEL_TASK_HH
+#define LTP_KERNEL_TASK_HH
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace ltp
+{
+
+namespace detail
+{
+
+/** Common promise machinery: continuation chaining + root completion. */
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+    std::function<void()> *onComplete = nullptr;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) const noexcept
+        {
+            PromiseBase &p = h.promise();
+            if (p.continuation)
+                return p.continuation;
+            if (p.onComplete && *p.onComplete)
+                (*p.onComplete)();
+            return std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void unhandled_exception() { std::terminate(); }
+};
+
+} // namespace detail
+
+/** A lazily-started coroutine returning T. */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        T value{};
+
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_value(T v) { value = std::move(v); }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+    Task(Task &&o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    bool valid() const { return bool(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+
+    /** Awaiting a task starts it and yields its return value. */
+    auto
+    operator co_await() noexcept
+    {
+        struct Awaiter
+        {
+            Handle h;
+            bool await_ready() const noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                h.promise().continuation = cont;
+                return h;
+            }
+
+            T await_resume() { return std::move(h.promise().value); }
+        };
+        assert(handle_ && !handle_.done());
+        return Awaiter{handle_};
+    }
+
+    Handle handle() const { return handle_; }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    Handle handle_;
+};
+
+/** void specialization. */
+template <>
+class [[nodiscard]] Task<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_void() {}
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+    Task(Task &&o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    bool valid() const { return bool(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+
+    auto
+    operator co_await() noexcept
+    {
+        struct Awaiter
+        {
+            Handle h;
+            bool await_ready() const noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                h.promise().continuation = cont;
+                return h;
+            }
+
+            void await_resume() const noexcept {}
+        };
+        assert(handle_ && !handle_.done());
+        return Awaiter{handle_};
+    }
+
+    Handle handle() const { return handle_; }
+
+    /**
+     * Root-task entry: install a completion callback (must outlive the
+     * task) and start execution.
+     */
+    void
+    start(std::function<void()> *on_complete)
+    {
+        assert(handle_ && !handle_.done());
+        handle_.promise().onComplete = on_complete;
+        handle_.resume();
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    Handle handle_;
+};
+
+} // namespace ltp
+
+#endif // LTP_KERNEL_TASK_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The execution environment of one simulated application thread.
+ *
+ * Kernels co_await ThreadCtx operations. Every memory operation carries
+ * an explicit PC: kernels assign one small-integer PC constant per static
+ * load/store site, so loops and repeated procedure calls reuse PCs the
+ * way compiled code reuses instruction addresses — which is precisely
+ * the structure last-touch traces are made of.
+ *
+ * The processor model is paper-era simple: single-issue, blocking (one
+ * outstanding memory operation), with compute modeled as cycle delays.
+ */
+
+#ifndef LTP_KERNEL_THREAD_CTX_HH
+#define LTP_KERNEL_THREAD_CTX_HH
+
+#include <coroutine>
+#include <cstdint>
+
+#include "mem/memory_values.hh"
+#include "proto/cache_controller.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+class SyncDomain;
+
+/** Per-thread simulated execution context. */
+class ThreadCtx
+{
+  public:
+    ThreadCtx(NodeId id, EventQueue &eq, CacheController &cc,
+              MemoryValues &mem, SyncDomain &sync, std::uint64_t seed)
+        : id_(id), eq_(eq), cc_(cc), mem_(mem), sync_(sync),
+          rng_(seed + 0x1000 * (id + 1))
+    {
+    }
+
+    NodeId id() const { return id_; }
+    Rng &rng() { return rng_; }
+    EventQueue &eventQueue() { return eq_; }
+    CacheController &controller() { return cc_; }
+    MemoryValues &memory() { return mem_; }
+    SyncDomain &sync() { return sync_; }
+    Tick now() const { return eq_.now(); }
+
+    /** Memory-operation kinds a kernel can issue. */
+    enum class Op : std::uint8_t
+    {
+        Load,
+        Store,
+        TestAndSet,
+        FetchAdd,
+    };
+
+    /** Awaitable memory operation; yields the loaded / previous value. */
+    struct [[nodiscard]] MemAwaiter
+    {
+        ThreadCtx *ctx;
+        Pc pc;
+        Addr addr;
+        Op op;
+        std::uint64_t operand;
+        std::uint64_t result = 0;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            bool is_write = op != Op::Load;
+            ctx->cc_.access(addr, pc, is_write,
+                            [this, h](Tick, bool) {
+                                complete();
+                                h.resume();
+                            });
+        }
+
+        std::uint64_t await_resume() const { return result; }
+
+      private:
+        void
+        complete()
+        {
+            MemoryValues &mem = ctx->mem_;
+            switch (op) {
+              case Op::Load:
+                result = mem.load(addr);
+                break;
+              case Op::Store:
+                mem.store(addr, operand);
+                break;
+              case Op::TestAndSet:
+                result = mem.testAndSet(addr, operand);
+                break;
+              case Op::FetchAdd:
+                result = mem.fetchAdd(addr, operand);
+                break;
+            }
+            ++ctx->memOps_;
+        }
+    };
+
+    /** Load the word at @p a (instruction at @p pc). */
+    MemAwaiter
+    load(Pc pc, Addr a)
+    {
+        return MemAwaiter{this, pc, a, Op::Load, 0};
+    }
+
+    /** Store @p v to the word at @p a. */
+    MemAwaiter
+    store(Pc pc, Addr a, std::uint64_t v)
+    {
+        return MemAwaiter{this, pc, a, Op::Store, v};
+    }
+
+    /** Atomic test-and-set; yields the previous value. */
+    MemAwaiter
+    testAndSet(Pc pc, Addr a, std::uint64_t v = 1)
+    {
+        return MemAwaiter{this, pc, a, Op::TestAndSet, v};
+    }
+
+    /** Atomic fetch-and-add; yields the previous value. */
+    MemAwaiter
+    fetchAdd(Pc pc, Addr a, std::uint64_t d = 1)
+    {
+        return MemAwaiter{this, pc, a, Op::FetchAdd, d};
+    }
+
+    /** Awaitable compute delay. */
+    struct [[nodiscard]] ComputeAwaiter
+    {
+        ThreadCtx *ctx;
+        Tick cycles;
+
+        bool await_ready() const { return cycles == 0; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            ctx->eq_.scheduleIn(cycles, [h] { h.resume(); });
+        }
+
+        void await_resume() const {}
+    };
+
+    /** Spend @p cycles of pure computation. */
+    ComputeAwaiter
+    compute(Tick cycles)
+    {
+        return ComputeAwaiter{this, cycles};
+    }
+
+    /**
+     * Report a synchronization boundary to the node's predictor (DSI
+     * self-invalidates its candidate list here; LTP ignores it).
+     */
+    void syncBoundary() { cc_.syncBoundary(); }
+
+    /** Total memory operations retired by this thread. */
+    std::uint64_t memOps() const { return memOps_; }
+
+  private:
+    NodeId id_;
+    EventQueue &eq_;
+    CacheController &cc_;
+    MemoryValues &mem_;
+    SyncDomain &sync_;
+    Rng rng_;
+    std::uint64_t memOps_ = 0;
+};
+
+} // namespace ltp
+
+#endif // LTP_KERNEL_THREAD_CTX_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * tomcatv (SPEC): a vectorized mesh-generation stencil.
+ *
+ * Paper's characterization: "Tomcatv is a stencil computation in which
+ * multiple array elements are stored in the same memory block resulting
+ * in multiple references by the same instruction to the block" — which
+ * defeats Last-PC — and (Section 5.3) "each neighbor reads two of each
+ * of the left and right neighbors' bordering columns. The computation
+ * requires reading the outer column only once and the inner column
+ * twice, resulting in traces for the outer column blocks becoming
+ * subtraces for the inner column blocks" — the global-table aliasing
+ * scenario.
+ *
+ * Structure here: the grid is stored column-major, so a 32-byte block
+ * packs 4 consecutive rows of one column. Each node owns a band of
+ * columns. Per sweep, a node reads its neighbors' two bordering columns
+ * with ONE stencil load instruction — inner column blocks twice, outer
+ * column blocks once — then rewrites its own columns with one store
+ * instruction (4 stores per block).
+ */
+
+#include "kernel/kernel_impls.hh"
+
+namespace ltp
+{
+
+namespace
+{
+constexpr Pc pcStencilRd = 0x2000; //!< the single neighbor-column load
+constexpr Pc pcOwnWr = 0x2004;     //!< the single own-column store
+constexpr Pc pcReuseRd = 0x2008;   //!< post-barrier reuse of the stencil
+constexpr unsigned rowsPerBlock = 4;
+} // namespace
+
+Addr
+TomcatvKernel::elemAddr(unsigned col, unsigned row) const
+{
+    NodeId owner = NodeId(col / colsPerNode_);
+    unsigned off = (col % colsPerNode_) * rows_ + row;
+    return chunk_[owner] + Addr(off) * 8;
+}
+
+void
+TomcatvKernel::setup(AddressSpace &as, MemoryValues &mem,
+                     const KernelConfig &cfg)
+{
+    cfg_ = cfg;
+    rows_ = cfg.size;
+    colsPerNode_ = cfg.size2 ? cfg.size2 : 3;
+
+    std::uint64_t bytes_per_node =
+        std::uint64_t(colsPerNode_) * rows_ * 8;
+    as.allocPerNode("tomcatv.grid", bytes_per_node, cfg.nodes);
+    chunk_.clear();
+    for (NodeId n = 0; n < cfg.nodes; ++n)
+        chunk_.push_back(as.chunkBase("tomcatv.grid", n));
+
+    for (unsigned c = 0; c < cfg.nodes * colsPerNode_; ++c)
+        for (unsigned r = 0; r < rows_; ++r)
+            mem.store(elemAddr(c, r), 1);
+}
+
+Task<void>
+TomcatvKernel::run(ThreadCtx &ctx)
+{
+    NodeId n = ctx.id();
+    unsigned c0 = n * colsPerNode_;
+    unsigned c1 = c0 + colsPerNode_ - 1;
+    unsigned total_cols = cfg_.nodes * colsPerNode_;
+
+    std::uint64_t acc = 0;
+    for (unsigned it = 0; it < cfg_.iters; ++it) {
+        // Update phase: rewrite every owned column in place — 4 stores
+        // per block, all from the same store instruction.
+        for (unsigned c = c0; c <= c1; ++c) {
+            for (unsigned r = 0; r < rows_; ++r) {
+                co_await ctx.store(pcOwnWr, elemAddr(c, r), acc + r);
+                if (r % rowsPerBlock == rowsPerBlock - 1)
+                    co_await ctx.compute(8);
+            }
+        }
+        co_await barrier(ctx);
+
+        // Stencil sweep: read the two bordering columns of each
+        // neighbor. The inner column is referenced twice per block, the
+        // outer once — all by the same load instruction.
+        struct Border
+        {
+            unsigned inner;
+            unsigned outer;
+            bool valid;
+        };
+        Border borders[2] = {
+            {c0 - 1, c0 - 2, c0 >= 2},
+            {c1 + 1, c1 + 2, c1 + 2 < total_cols},
+        };
+        for (const Border &b : borders) {
+            if (!b.valid)
+                continue;
+            for (unsigned r = 0; r < rows_; r += rowsPerBlock) {
+                acc += co_await ctx.load(pcStencilRd,
+                                         elemAddr(b.inner, r));
+                acc += co_await ctx.load(pcStencilRd,
+                                         elemAddr(b.inner, r + 1));
+                acc += co_await ctx.load(pcStencilRd,
+                                         elemAddr(b.outer, r));
+                co_await ctx.compute(16);
+            }
+        }
+        co_await barrier(ctx);
+
+        // Residual check: re-read a couple of the inner boundary blocks
+        // right after the barrier — sharing that spans the
+        // synchronization, so a barrier-triggered flush of these copies
+        // is premature.
+        for (const Border &b : borders) {
+            if (!b.valid)
+                continue;
+            for (unsigned r = 0; r < 2 * rowsPerBlock; r += rowsPerBlock)
+                acc += co_await ctx.load(pcReuseRd, elemAddr(b.inner, r));
+        }
+    }
+}
+
+} // namespace ltp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * unstructured: computational fluid dynamics over an unstructured mesh.
+ *
+ * Paper's characterization: static sharing patterns, LTP > 95%; "the
+ * main loop iterates over data values computing a threshold" so the
+ * same instruction references a block multiple times (Last-PC fails);
+ * DSI only reaches 38% because it refuses migratory blocks (exclusive
+ * request by the requester holding the only read-only copy) as
+ * candidates.
+ *
+ * Structure here: each node owns boundary vertices (4 packed per block)
+ * that its left neighbor's edges read-modify-write several times per
+ * sweep — a textbook migratory pattern (GetS, then a sole-sharer
+ * upgrade) that DSI's versioning deliberately skips. A small set of
+ * read-shared coefficient blocks, rewritten by node 0 each iteration,
+ * provides the non-migratory fraction DSI does catch.
+ */
+
+#include "kernel/kernel_impls.hh"
+
+namespace ltp
+{
+
+namespace
+{
+constexpr Pc pcEdgeRd = 0x3000;  //!< edge sweep: load remote vertex
+constexpr Pc pcEdgeWr = 0x3004;  //!< edge sweep: store remote vertex
+constexpr Pc pcOwnRd = 0x3008;   //!< owner refresh: load own vertex
+constexpr Pc pcOwnWr = 0x300c;   //!< owner refresh: store own vertex
+constexpr Pc pcCoefRd = 0x3010;  //!< threshold loop: load coefficient
+constexpr Pc pcCoefWr = 0x3014;  //!< node 0: rewrite coefficients
+constexpr unsigned coefBlocks = 4;
+constexpr unsigned wordsPerBlock = 4;
+} // namespace
+
+void
+UnstructuredKernel::setup(AddressSpace &as, MemoryValues &mem,
+                          const KernelConfig &cfg)
+{
+    cfg_ = cfg;
+    vertsPerNode_ = cfg.size;
+    unsigned edges_per_block = cfg.size2 ? cfg.size2 : 3;
+    unsigned bs = as.blockSize();
+
+    as.allocPerNode("unstructured.verts",
+                    std::uint64_t(vertsPerNode_) * 8, cfg.nodes);
+    Addr coef_base = as.allocStriped("unstructured.coef", coefBlocks);
+    coefAddr_.clear();
+    for (unsigned c = 0; c < coefBlocks; ++c) {
+        coefAddr_.push_back(as.stripedBlock(coef_base, c));
+        mem.store(coefAddr_[c], 1);
+    }
+
+    vertChunk_.clear();
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+        vertChunk_.push_back(as.chunkBase("unstructured.verts", n));
+        for (unsigned v = 0; v < vertsPerNode_; ++v)
+            mem.store(vertChunk_[n] + Addr(v) * 8, 1);
+    }
+
+    // Static edge lists: node n's edges target the boundary blocks of
+    // node (n+1) % N, several edges per block (the mesh's degree).
+    Rng rng(cfg.seed * 7 + 3);
+    edges_.assign(cfg.nodes, {});
+    unsigned blocks_per_node = vertsPerNode_ * 8 / bs;
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+        NodeId neighbor = (n + 1) % cfg.nodes;
+        for (unsigned b = 0; b < blocks_per_node; ++b) {
+            // The mesh degree varies from block to block (but is static
+            // across iterations): some blocks' full traces are prefixes
+            // of others' — the global-table aliasing scenario.
+            unsigned degree =
+                2 + unsigned((b + n) % (edges_per_block + 1));
+            for (unsigned e = 0; e < degree; ++e) {
+                Addr remote = vertChunk_[neighbor] + Addr(b) * bs +
+                              Addr(rng.below(wordsPerBlock)) * 8;
+                edges_[n].push_back(remote);
+            }
+        }
+    }
+}
+
+Task<void>
+UnstructuredKernel::run(ThreadCtx &ctx)
+{
+    NodeId n = ctx.id();
+
+    for (unsigned it = 0; it < cfg_.iters; ++it) {
+        // Threshold loop: every node reads the shared coefficients.
+        std::uint64_t threshold = 0;
+        for (unsigned c = 0; c < coefBlocks; ++c)
+            threshold += co_await ctx.load(pcCoefRd, coefAddr_[c]);
+        co_await ctx.compute(40);
+
+        // Edge sweep: read-modify-write the neighbor's boundary
+        // vertices, several edges landing in each block — the same two
+        // instructions touch a block repeatedly.
+        for (Addr remote : edges_[n]) {
+            std::uint64_t v = co_await ctx.load(pcEdgeRd, remote);
+            co_await ctx.store(pcEdgeWr, remote, v + threshold % 5);
+            co_await ctx.compute(20);
+        }
+        co_await barrier(ctx);
+
+        // Owner refresh: every node renormalizes its own boundary
+        // vertices (again one load + one store instruction per word).
+        for (unsigned v = 0; v < vertsPerNode_; ++v) {
+            Addr a = vertChunk_[n] + Addr(v) * 8;
+            std::uint64_t x = co_await ctx.load(pcOwnRd, a);
+            co_await ctx.store(pcOwnWr, a, x / 2 + 1);
+            if (v % 4 == 3)
+                co_await ctx.compute(12);
+        }
+        // Node 0 refreshes the coefficients for the next iteration.
+        if (n == 0) {
+            for (unsigned c = 0; c < coefBlocks; ++c)
+                co_await ctx.store(pcCoefWr, coefAddr_[c], it + 2);
+        }
+        co_await barrier(ctx);
+    }
+}
+
+} // namespace ltp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Address arithmetic: cache-block and page alignment, and the mapping
+ * from physical pages to home nodes.
+ */
+
+#ifndef LTP_MEM_ADDR_HH
+#define LTP_MEM_ADDR_HH
+
+#include <cassert>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+/** True iff @p x is a power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Block-size (or page-size) aware address helpers. */
+class BlockMath
+{
+  public:
+    explicit BlockMath(unsigned block_size) : blockSize_(block_size)
+    {
+        assert(isPowerOf2(block_size));
+    }
+
+    unsigned blockSize() const { return blockSize_; }
+
+    /** Address of the first byte of the block containing @p a. */
+    Addr align(Addr a) const { return a & ~Addr(blockSize_ - 1); }
+
+    /** Block number (address / block size). */
+    Addr blockNum(Addr a) const { return a >> ctz(blockSize_); }
+
+    /** Byte offset of @p a within its block. */
+    unsigned offset(Addr a) const { return unsigned(a & (blockSize_ - 1)); }
+
+    /** True if @p a and @p b fall in the same block. */
+    bool sameBlock(Addr a, Addr b) const { return align(a) == align(b); }
+
+  private:
+    static constexpr unsigned
+    ctz(std::uint64_t x)
+    {
+        unsigned n = 0;
+        while (!(x & 1)) {
+            x >>= 1;
+            ++n;
+        }
+        return n;
+    }
+
+    unsigned blockSize_;
+};
+
+/**
+ * Mapping from memory pages to home nodes.
+ *
+ * Default policy is page-interleaving across all nodes; the workload
+ * layout can pin individual pages to chosen homes (emulating careful
+ * first-touch page placement, which all the paper's benchmarks rely on).
+ */
+class HomeMap
+{
+  public:
+    HomeMap(unsigned page_size, NodeId num_nodes)
+        : pageMath_(page_size), numNodes_(num_nodes)
+    {
+        assert(num_nodes > 0);
+    }
+
+    unsigned pageSize() const { return pageMath_.blockSize(); }
+    NodeId numNodes() const { return numNodes_; }
+
+    /** Home node of the block/byte at @p a. */
+    NodeId
+    home(Addr a) const
+    {
+        Addr page = pageMath_.blockNum(a);
+        auto it = pinned_.find(page);
+        if (it != pinned_.end())
+            return it->second;
+        return NodeId(page % numNodes_);
+    }
+
+    /** Pin the page containing @p a to @p node. */
+    void
+    pinPageOf(Addr a, NodeId node)
+    {
+        assert(node < numNodes_);
+        pinned_[pageMath_.blockNum(a)] = node;
+    }
+
+    /** Pin every page in [base, base+bytes) to @p node. */
+    void
+    pinRange(Addr base, std::uint64_t bytes, NodeId node)
+    {
+        Addr first = pageMath_.blockNum(base);
+        Addr last = pageMath_.blockNum(base + bytes - 1);
+        for (Addr p = first; p <= last; ++p)
+            pinned_[p] = node;
+    }
+
+  private:
+    BlockMath pageMath_;
+    NodeId numNodes_;
+    std::unordered_map<Addr, NodeId> pinned_;
+};
+
+} // namespace ltp
+
+#endif // LTP_MEM_ADDR_HH

@@ -1,0 +1,164 @@
+#include "mem/cache.hh"
+
+#include <cassert>
+
+namespace ltp
+{
+
+Cache::Cache(unsigned block_size, unsigned num_sets, unsigned ways)
+    : math_(block_size), numSets_(num_sets), ways_(ways)
+{
+    if (numSets_ != 0) {
+        assert(isPowerOf2(numSets_));
+        assert(ways_ > 0);
+        lru_.resize(numSets_);
+    }
+}
+
+CacheLine *
+Cache::find(Addr addr)
+{
+    Addr blk = math_.align(addr);
+    auto it = lines_.find(blk);
+    if (it == lines_.end() || it->second.line.state == CacheState::Invalid)
+        return nullptr;
+    // A lookup is a use: refresh recency so LRU reflects touches.
+    touchLru(blk, it->second);
+    return &it->second.line;
+}
+
+const CacheLine *
+Cache::find(Addr addr) const
+{
+    auto it = lines_.find(math_.align(addr));
+    if (it == lines_.end() || it->second.line.state == CacheState::Invalid)
+        return nullptr;
+    return &it->second.line;
+}
+
+CacheState
+Cache::state(Addr addr) const
+{
+    const CacheLine *l = find(addr);
+    return l ? l->state : CacheState::Invalid;
+}
+
+std::size_t
+Cache::setIndex(Addr block_addr) const
+{
+    return std::size_t(math_.blockNum(block_addr)) & (numSets_ - 1);
+}
+
+void
+Cache::touchLru(Addr block_addr, Entry &e)
+{
+    if (unbounded())
+        return;
+    auto &list = lru_[setIndex(block_addr)];
+    list.erase(e.lruPos);
+    list.push_front(block_addr);
+    e.lruPos = list.begin();
+}
+
+CacheLine *
+Cache::findAny(Addr addr)
+{
+    auto it = lines_.find(math_.align(addr));
+    return it == lines_.end() ? nullptr : &it->second.line;
+}
+
+std::optional<Cache::Victim>
+Cache::insert(Addr addr, CacheState state)
+{
+    assert(state != CacheState::Invalid);
+    Addr blk = math_.align(addr);
+
+    auto it = lines_.find(blk);
+    if (it != lines_.end() && it->second.line.state != CacheState::Invalid) {
+        // Upgrade in place (e.g., Shared -> Exclusive).
+        it->second.line.state = state;
+        touchLru(blk, it->second);
+        return std::nullopt;
+    }
+
+    std::optional<Victim> victim;
+    if (!unbounded()) {
+        auto &list = lru_[setIndex(blk)];
+        // Count resident ways in this set.
+        unsigned resident = 0;
+        for (Addr a : list) {
+            auto lit = lines_.find(a);
+            if (lit != lines_.end() &&
+                lit->second.line.state != CacheState::Invalid) {
+                ++resident;
+            }
+        }
+        if (resident >= ways_) {
+            // Evict the least recently used resident block.
+            for (auto rit = list.rbegin(); rit != list.rend(); ++rit) {
+                auto lit = lines_.find(*rit);
+                if (lit != lines_.end() &&
+                    lit->second.line.state != CacheState::Invalid) {
+                    victim = Victim{*rit, lit->second.line.state};
+                    break;
+                }
+            }
+            assert(victim);
+            invalidate(victim->addr);
+        }
+    }
+
+    Entry e;
+    // Preserve sticky per-block flags across re-fetches.
+    if (it != lines_.end())
+        e.line = it->second.line;
+    e.line.state = state;
+    if (!unbounded()) {
+        auto &list = lru_[setIndex(blk)];
+        list.push_front(blk);
+        e.lruPos = list.begin();
+    }
+    lines_[blk] = e;
+    return victim;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    Addr blk = math_.align(addr);
+    auto it = lines_.find(blk);
+    if (it == lines_.end())
+        return;
+    if (!unbounded() && it->second.line.state != CacheState::Invalid)
+        lru_[setIndex(blk)].erase(it->second.lruPos);
+    // Keep the entry (state Invalid) so sticky flags like activelyShared
+    // and the DSI version survive re-fetch; finite mode erases fully to
+    // bound memory.
+    if (unbounded()) {
+        it->second.line.state = CacheState::Invalid;
+    } else {
+        lines_.erase(it);
+    }
+}
+
+void
+Cache::downgrade(Addr addr)
+{
+    CacheLine *l = find(addr);
+    if (l && l->state == CacheState::Exclusive)
+        l->state = CacheState::Shared;
+}
+
+std::size_t
+Cache::residentBlocks() const
+{
+    std::size_t n = 0;
+    for (const auto &[blk, ent] : lines_) {
+        (void)blk;
+        if (ent.line.state != CacheState::Invalid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace ltp

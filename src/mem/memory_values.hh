@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulated memory contents.
+ *
+ * The timing simulator mostly cares about *which* blocks are touched, but
+ * synchronization (test-and-set spin locks, flags, work-queue indices)
+ * needs real values. MemoryValues is a sparse 64-bit-word store shared by
+ * all nodes; the coherence protocol guarantees that reads and writes are
+ * serialized correctly, so a single value store suffices.
+ */
+
+#ifndef LTP_MEM_MEMORY_VALUES_HH
+#define LTP_MEM_MEMORY_VALUES_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+/** Sparse word-granularity simulated memory. */
+class MemoryValues
+{
+  public:
+    /** Read the 64-bit word at @p a (8-byte aligned); absent words are 0. */
+    std::uint64_t
+    load(Addr a) const
+    {
+        auto it = words_.find(wordAddr(a));
+        return it == words_.end() ? 0 : it->second;
+    }
+
+    /** Write the 64-bit word at @p a. */
+    void store(Addr a, std::uint64_t v) { words_[wordAddr(a)] = v; }
+
+    /**
+     * Atomic test-and-set: write @p set_to and return the previous value.
+     * Atomicity is provided by the caller holding exclusive coherence
+     * permission for the block.
+     */
+    std::uint64_t
+    testAndSet(Addr a, std::uint64_t set_to)
+    {
+        Addr w = wordAddr(a);
+        std::uint64_t old = 0;
+        auto it = words_.find(w);
+        if (it != words_.end())
+            old = it->second;
+        words_[w] = set_to;
+        return old;
+    }
+
+    /** Atomic fetch-and-add; returns the previous value. */
+    std::uint64_t
+    fetchAdd(Addr a, std::uint64_t delta)
+    {
+        Addr w = wordAddr(a);
+        std::uint64_t old = words_[w];
+        words_[w] = old + delta;
+        return old;
+    }
+
+    std::size_t wordCount() const { return words_.size(); }
+
+  private:
+    static Addr wordAddr(Addr a) { return a & ~Addr(7); }
+
+    std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+} // namespace ltp
+
+#endif // LTP_MEM_MEMORY_VALUES_HH

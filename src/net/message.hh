@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Coherence-protocol message definition.
+ *
+ * The message vocabulary of the full-map write-invalidate protocol
+ * (Section 2 of the paper) plus the self-invalidation messages Section 4
+ * adds. The network treats messages opaquely except for their size class
+ * (control vs. data-carrying).
+ */
+
+#ifndef LTP_NET_MESSAGE_HH
+#define LTP_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+/** Every message type exchanged between cache and directory controllers. */
+enum class MsgType : std::uint8_t
+{
+    // Requests: cache -> home directory.
+    GetS,       //!< read request
+    GetX,       //!< write (exclusive) request
+    // Directory -> remote cache.
+    Inv,        //!< invalidate a read-only copy
+    WbReq,      //!< invalidate + write back an exclusive copy
+    // Remote cache -> directory.
+    InvAck,     //!< acknowledges Inv (or WbReq when no copy remained)
+    WbData,     //!< dirty data written back in answer to WbReq
+    // Directory -> requester.
+    DataS,      //!< read-only data reply
+    DataX,      //!< writable data reply
+    // Self-invalidation (Section 4).
+    SelfInvS,   //!< cache drops a Shared copy and notifies home
+    SelfInvX,   //!< cache drops an Exclusive copy, carries the data home
+    // Sharing-prediction extension: unsolicited forward of a
+    // self-invalidated block to its predicted next consumer.
+    DataFwd,
+    // Capacity eviction (finite caches only; not a prediction).
+    EvictS,
+    EvictX,
+};
+
+/** True for message types that carry a full cache block of data. */
+constexpr bool
+carriesData(MsgType t)
+{
+    switch (t) {
+      case MsgType::WbData:
+      case MsgType::DataS:
+      case MsgType::DataX:
+      case MsgType::DataFwd:
+      case MsgType::SelfInvX:
+      case MsgType::EvictX:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Human-readable message-type name (debugging and tests). */
+const char *msgTypeName(MsgType t);
+
+/** Self-invalidation verification outcome piggybacked on data replies. */
+enum class Verification : std::uint8_t
+{
+    None,      //!< nothing to report
+    Correct,   //!< a previous self-invalidation by the requester was correct
+    Premature, //!< the requester self-invalidated too early
+};
+
+/** A single protocol message in flight. */
+struct Message
+{
+    MsgType type = MsgType::GetS;
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    /** Block-aligned address the message concerns. */
+    Addr addr = 0;
+    /** Original requester (meaningful on Inv/WbReq fan-out). */
+    NodeId requester = invalidNode;
+    /** DSI write-version number (on data replies and requests). */
+    std::uint64_t version = 0;
+    /** DSI: reply marks the block as a self-invalidation candidate. */
+    bool dsiCandidate = false;
+    /** Verification feedback for the requester's predictor. */
+    Verification verification = Verification::None;
+    /** Tick at which the sender injected the message (for latency stats). */
+    Tick injectedAt = 0;
+
+    std::string describe() const;
+};
+
+} // namespace ltp
+
+#endif // LTP_NET_MESSAGE_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Dynamic Self-Invalidation (Lebeck & Wood), the paper's comparison
+ * point (Section 2.1).
+ *
+ * "Which blocks": the directory's versioning protocol marks a data reply
+ * as a candidate when the requester's remembered write-version differs
+ * from the directory's — i.e., the block is actively shared. Migratory
+ * upgrades (exclusive request by the block's only read-copy holder) are
+ * deliberately excluded, as Lebeck & Wood found they cause premature
+ * self-invalidation.
+ *
+ * "When": all candidate blocks self-invalidate when the processor
+ * crosses a synchronization boundary (lock acquire/release or barrier) —
+ * the brute-force trigger whose burstiness and lateness LTP fixes.
+ */
+
+#ifndef LTP_PREDICTOR_DSI_HH
+#define LTP_PREDICTOR_DSI_HH
+
+#include <set>
+
+#include "predictor/invalidation_predictor.hh"
+
+namespace ltp
+{
+
+/** DSI self-invalidation scheme. */
+class DsiPredictor : public InvalidationPredictor
+{
+  public:
+    bool
+    onTouch(Addr, Pc, bool, bool) override
+    {
+        return false; // DSI never predicts at a touch
+    }
+
+    void
+    onInvalidation(Addr blk) override
+    {
+        candidates_.erase(blk);
+    }
+
+    void
+    onVerification(Addr blk, bool premature) override
+    {
+        // A premature self-invalidation re-fetches the block; its version
+        // then matches the directory's again, so in the real scheme the
+        // block stops being a candidate until another processor writes.
+        if (premature)
+            candidates_.erase(blk);
+    }
+
+    void
+    onFillInfo(Addr blk, const FillInfo &info) override
+    {
+        if (info.dsiCandidate)
+            candidates_.insert(blk);
+        else
+            candidates_.erase(blk);
+    }
+
+    void
+    onSyncBoundary() override
+    {
+        // Flush the whole candidate list — the burst the paper measures.
+        if (!port_)
+            return;
+        for (Addr blk : candidates_)
+            port_->requestSelfInvalidate(blk);
+    }
+
+    std::string name() const override { return "dsi"; }
+
+    std::size_t numCandidates() const { return candidates_.size(); }
+    bool isCandidate(Addr blk) const { return candidates_.count(blk) != 0; }
+
+  private:
+    /** Ordered so that the flush burst is deterministic. */
+    std::set<Addr> candidates_;
+};
+
+} // namespace ltp
+
+#endif // LTP_PREDICTOR_DSI_HH

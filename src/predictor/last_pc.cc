@@ -1,0 +1,87 @@
+#include "predictor/last_pc.hh"
+
+namespace ltp
+{
+
+LastPcPredictor::TableEntry *
+LastPcPredictor::findEntry(BlockState &b, Pc pc)
+{
+    for (auto &e : b.table) {
+        if (e.pc == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+LastPcPredictor::onTouch(Addr blk, Pc pc, bool is_write, bool fill)
+{
+    (void)is_write;
+    (void)fill;
+    BlockState &b = blocks_[blk];
+    b.lastPc = pc;
+    b.traceOpen = true;
+
+    TableEntry *e = findEntry(b, pc);
+    if (e && e->conf.atLeast(params_.confThreshold)) {
+        b.predictedPc = pc;
+        return true;
+    }
+    return false;
+}
+
+void
+LastPcPredictor::onInvalidation(Addr blk)
+{
+    auto it = blocks_.find(blk);
+    if (it == blocks_.end() || !it->second.traceOpen)
+        return;
+    BlockState &b = it->second;
+
+    if (TableEntry *e = findEntry(b, b.lastPc)) {
+        e->conf.strengthen();
+    } else {
+        b.table.push_back(TableEntry{
+            b.lastPc,
+            ConfidenceCounter(params_.confInitial, params_.confMax)});
+    }
+    b.traceOpen = false;
+    b.predictedPc.reset();
+}
+
+void
+LastPcPredictor::onVerification(Addr blk, bool premature)
+{
+    auto it = blocks_.find(blk);
+    if (it == blocks_.end())
+        return;
+    BlockState &b = it->second;
+    if (!b.predictedPc)
+        return;
+
+    if (TableEntry *e = findEntry(b, *b.predictedPc)) {
+        if (premature)
+            e->conf.weaken();
+        else
+            e->conf.strengthen();
+    }
+    b.predictedPc.reset();
+    b.traceOpen = false;
+}
+
+std::optional<StorageStats>
+LastPcPredictor::storage() const
+{
+    StorageStats s;
+    s.sigBits = 30; // a full PC
+    for (const auto &[blk, b] : blocks_) {
+        (void)blk;
+        if (b.table.empty())
+            continue;
+        ++s.activeBlocks;
+        s.totalEntries += b.table.size();
+    }
+    return s;
+}
+
+} // namespace ltp

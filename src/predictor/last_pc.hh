@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The Last-PC predictor (Section 5.1's strawman).
+ *
+ * Same two-level organization as the per-block LTP, but instead of a
+ * trace signature the per-block table stores the single PC of the last
+ * instruction that touched the block before each invalidation. A touch
+ * whose PC matches a confident stored last-PC is predicted to be the
+ * last touch. Instruction reuse within a sharing phase (loops, repeated
+ * procedure calls) defeats this scheme — the point of Section 3.1.
+ */
+
+#ifndef LTP_PREDICTOR_LAST_PC_HH
+#define LTP_PREDICTOR_LAST_PC_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "predictor/invalidation_predictor.hh"
+#include "predictor/ltp_per_block.hh"
+#include "predictor/signature.hh"
+
+namespace ltp
+{
+
+/** Single-instruction (last-PC) predictor. */
+class LastPcPredictor : public InvalidationPredictor
+{
+  public:
+    explicit LastPcPredictor(LtpParams params = {}) : params_(params) {}
+
+    bool onTouch(Addr blk, Pc pc, bool is_write, bool fill) override;
+    void onInvalidation(Addr blk) override;
+    void onVerification(Addr blk, bool premature) override;
+    std::string name() const override { return "last-pc"; }
+    std::optional<StorageStats> storage() const override;
+
+  private:
+    struct TableEntry
+    {
+        Pc pc;
+        ConfidenceCounter conf;
+    };
+
+    struct BlockState
+    {
+        Pc lastPc = 0;
+        bool traceOpen = false;
+        std::vector<TableEntry> table;
+        std::optional<Pc> predictedPc;
+    };
+
+    TableEntry *findEntry(BlockState &b, Pc pc);
+
+    LtpParams params_;
+    std::unordered_map<Addr, BlockState> blocks_;
+};
+
+} // namespace ltp
+
+#endif // LTP_PREDICTOR_LAST_PC_HH

@@ -1,0 +1,78 @@
+#include "predictor/ltp_global.hh"
+
+namespace ltp
+{
+
+bool
+LtpGlobal::onTouch(Addr blk, Pc pc, bool is_write, bool fill)
+{
+    (void)is_write;
+    BlockState &b = blocks_[blk];
+    if (fill || !b.traceOpen) {
+        b.cur = Signature::init(pc, params_.sigBits, params_.encoding);
+        b.traceOpen = true;
+    } else {
+        b.cur = b.cur.extend(pc);
+    }
+
+    auto it = table_.find(b.cur.value());
+    if (it != table_.end() && it->second.atLeast(params_.confThreshold)) {
+        b.predictedSig = b.cur;
+        return true;
+    }
+    return false;
+}
+
+void
+LtpGlobal::onInvalidation(Addr blk)
+{
+    auto it = blocks_.find(blk);
+    if (it == blocks_.end() || !it->second.traceOpen)
+        return;
+    BlockState &b = it->second;
+    activeBlocks_[blk] = true;
+
+    auto tit = table_.find(b.cur.value());
+    if (tit != table_.end()) {
+        tit->second.strengthen();
+    } else {
+        table_.emplace(b.cur.value(), ConfidenceCounter(params_.confInitial,
+                                                        params_.confMax));
+    }
+    b.traceOpen = false;
+    b.predictedSig.reset();
+}
+
+void
+LtpGlobal::onVerification(Addr blk, bool premature)
+{
+    auto it = blocks_.find(blk);
+    if (it == blocks_.end())
+        return;
+    BlockState &b = it->second;
+    if (!b.predictedSig)
+        return;
+    activeBlocks_[blk] = true;
+
+    auto tit = table_.find(b.predictedSig->value());
+    if (tit != table_.end()) {
+        if (premature)
+            tit->second.weaken();
+        else
+            tit->second.strengthen();
+    }
+    b.predictedSig.reset();
+    b.traceOpen = false;
+}
+
+std::optional<StorageStats>
+LtpGlobal::storage() const
+{
+    StorageStats s;
+    s.sigBits = params_.sigBits;
+    s.activeBlocks = activeBlocks_.size();
+    s.totalEntries = table_.size();
+    return s;
+}
+
+} // namespace ltp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The alternative Last-Touch Predictor: a PAg-like two-level organization
+ * with a single global last-touch signature table shared by all blocks
+ * (Figure 4, bottom).
+ *
+ * The global table capitalizes on common sharing patterns across blocks
+ * and cuts storage, but — as Section 5.3 shows — suffers subtrace
+ * aliasing across blocks: a complete trace of one block that is a prefix
+ * of another block's trace triggers premature predictions.
+ */
+
+#ifndef LTP_PREDICTOR_LTP_GLOBAL_HH
+#define LTP_PREDICTOR_LTP_GLOBAL_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "predictor/invalidation_predictor.hh"
+#include "predictor/ltp_per_block.hh"
+#include "predictor/signature.hh"
+
+namespace ltp
+{
+
+/** Global-table Last-Touch Predictor. */
+class LtpGlobal : public InvalidationPredictor
+{
+  public:
+    explicit LtpGlobal(LtpParams params = {}) : params_(params) {}
+
+    bool onTouch(Addr blk, Pc pc, bool is_write, bool fill) override;
+    void onInvalidation(Addr blk) override;
+    void onVerification(Addr blk, bool premature) override;
+    std::string name() const override { return "ltp-global"; }
+    std::optional<StorageStats> storage() const override;
+
+    std::size_t globalTableSize() const { return table_.size(); }
+
+  private:
+    struct BlockState
+    {
+        Signature cur;
+        bool traceOpen = false;
+        std::optional<Signature> predictedSig;
+    };
+
+    LtpParams params_;
+    std::unordered_map<Addr, BlockState> blocks_;
+    /** Global last-touch table: signature value -> confidence. */
+    std::unordered_map<std::uint64_t, ConfidenceCounter> table_;
+    /** Blocks that have completed at least one trace (Table 3 divisor). */
+    std::unordered_map<Addr, bool> activeBlocks_;
+};
+
+} // namespace ltp
+
+#endif // LTP_PREDICTOR_LTP_GLOBAL_HH

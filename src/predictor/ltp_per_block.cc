@@ -1,0 +1,100 @@
+#include "predictor/ltp_per_block.hh"
+
+namespace ltp
+{
+
+LtpPerBlock::TableEntry *
+LtpPerBlock::findEntry(BlockState &b, const Signature &sig)
+{
+    for (auto &e : b.table) {
+        if (e.sig == sig)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+LtpPerBlock::onTouch(Addr blk, Pc pc, bool is_write, bool fill)
+{
+    (void)is_write;
+    BlockState &b = blocks_[blk];
+    if (fill || !b.traceOpen) {
+        b.cur = Signature::init(pc, params_.sigBits, params_.encoding);
+        b.traceOpen = true;
+    } else {
+        b.cur = b.cur.extend(pc);
+    }
+
+    TableEntry *e = findEntry(b, b.cur);
+    if (e && e->conf.atLeast(params_.confThreshold)) {
+        b.predictedSig = b.cur;
+        return true;
+    }
+    return false;
+}
+
+void
+LtpPerBlock::onInvalidation(Addr blk)
+{
+    auto it = blocks_.find(blk);
+    if (it == blocks_.end() || !it->second.traceOpen)
+        return;
+    BlockState &b = it->second;
+
+    // The trace just completed: its current signature IS the last-touch
+    // signature for this sharing phase. Learn it.
+    if (TableEntry *e = findEntry(b, b.cur)) {
+        e->conf.strengthen();
+    } else {
+        b.table.push_back(TableEntry{
+            b.cur, ConfidenceCounter(params_.confInitial, params_.confMax)});
+    }
+    b.traceOpen = false;
+    b.predictedSig.reset();
+}
+
+void
+LtpPerBlock::onVerification(Addr blk, bool premature)
+{
+    auto it = blocks_.find(blk);
+    if (it == blocks_.end())
+        return;
+    BlockState &b = it->second;
+    if (!b.predictedSig)
+        return;
+
+    if (TableEntry *e = findEntry(b, *b.predictedSig)) {
+        if (premature)
+            e->conf.weaken();
+        else
+            e->conf.strengthen();
+    }
+    b.predictedSig.reset();
+    // Either way the old trace is over: a correct self-invalidation ended
+    // it; a premature one means the next touch misses and restarts it.
+    b.traceOpen = false;
+}
+
+std::optional<StorageStats>
+LtpPerBlock::storage() const
+{
+    StorageStats s;
+    s.sigBits = params_.sigBits;
+    for (const auto &[blk, b] : blocks_) {
+        (void)blk;
+        if (b.table.empty())
+            continue; // never invalidated: not an actively shared block
+        ++s.activeBlocks;
+        s.totalEntries += b.table.size();
+    }
+    return s;
+}
+
+std::size_t
+LtpPerBlock::tableSize(Addr blk) const
+{
+    auto it = blocks_.find(blk);
+    return it == blocks_.end() ? 0 : it->second.table.size();
+}
+
+} // namespace ltp

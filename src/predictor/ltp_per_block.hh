@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The base-case Last-Touch Predictor: a PAp-like two-level organization
+ * with a per-block last-touch signature table (Figure 4, top).
+ *
+ * Level one is the current-signature table: one truncated-addition
+ * register per block recording the trace since the block's last
+ * coherence miss. Level two is, per block, the set of previously
+ * observed last-touch signatures, each guarded by a two-bit saturating
+ * confidence counter. A touch whose updated current signature matches a
+ * confident last-touch signature is predicted to be the last touch.
+ */
+
+#ifndef LTP_PREDICTOR_LTP_PER_BLOCK_HH
+#define LTP_PREDICTOR_LTP_PER_BLOCK_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "predictor/invalidation_predictor.hh"
+#include "predictor/signature.hh"
+
+namespace ltp
+{
+
+/** Shared configuration for the trace-based predictors. */
+struct LtpParams
+{
+    /** Signature width in bits (paper: 30 = "Base", 13, 11, 6). */
+    unsigned sigBits = 30;
+    /** Counter value required before a match predicts (saturated). */
+    unsigned confThreshold = 3;
+    unsigned confMax = 3;
+    unsigned confInitial = 2;
+    /** Trace-encoding function (paper uses truncated addition). */
+    SigEncoding encoding = SigEncoding::TruncatedAdd;
+};
+
+/** Per-block-table Last-Touch Predictor. */
+class LtpPerBlock : public InvalidationPredictor
+{
+  public:
+    explicit LtpPerBlock(LtpParams params = {}) : params_(params) {}
+
+    bool onTouch(Addr blk, Pc pc, bool is_write, bool fill) override;
+    void onInvalidation(Addr blk) override;
+    void onVerification(Addr blk, bool premature) override;
+    std::string name() const override { return "ltp"; }
+    std::optional<StorageStats> storage() const override;
+
+    /** Last-touch table size for @p blk (tests / Table 3). */
+    std::size_t tableSize(Addr blk) const;
+
+    const LtpParams &params() const { return params_; }
+
+  private:
+    struct TableEntry
+    {
+        Signature sig;
+        ConfidenceCounter conf;
+    };
+
+    struct BlockState
+    {
+        Signature cur;
+        bool traceOpen = false;
+        std::vector<TableEntry> table;
+        /** Signature of the outstanding prediction (for verification). */
+        std::optional<Signature> predictedSig;
+    };
+
+    TableEntry *findEntry(BlockState &b, const Signature &sig);
+
+    LtpParams params_;
+    std::unordered_map<Addr, BlockState> blocks_;
+};
+
+} // namespace ltp
+
+#endif // LTP_PREDICTOR_LTP_PER_BLOCK_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Storage-cost accounting for predictors (Table 3 of the paper).
+ */
+
+#ifndef LTP_PREDICTOR_STORAGE_HH
+#define LTP_PREDICTOR_STORAGE_HH
+
+#include <cstdint>
+
+namespace ltp
+{
+
+/**
+ * Predictor storage summary, following the paper's accounting: both
+ * organizations charge one current signature per block plus a two-bit
+ * saturating counter per last-touch signature entry.
+ */
+struct StorageStats
+{
+    /** Blocks that completed at least one trace (were invalidated). */
+    std::uint64_t activeBlocks = 0;
+    /** Total last-touch signature entries across the predictor. */
+    std::uint64_t totalEntries = 0;
+    /** Signature width in bits. */
+    unsigned sigBits = 0;
+
+    double
+    entriesPerBlock() const
+    {
+        return activeBlocks ? double(totalEntries) / double(activeBlocks)
+                            : 0.0;
+    }
+
+    /**
+     * Per-active-block overhead in bytes: the current signature plus the
+     * amortized last-touch entries (signature + 2-bit counter each).
+     */
+    double
+    bytesPerBlock() const
+    {
+        double bits =
+            double(sigBits) + entriesPerBlock() * (double(sigBits) + 2.0);
+        return bits / 8.0;
+    }
+};
+
+} // namespace ltp
+
+#endif // LTP_PREDICTOR_STORAGE_HH

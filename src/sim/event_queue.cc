@@ -1,0 +1,91 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+
+namespace ltp
+{
+
+EventQueue::EventId
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    assert(when >= now_ && "scheduling an event in the past");
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    ++liveEvents_;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = callbacks_.find(id);
+    if (it == callbacks_.end())
+        return false;
+    callbacks_.erase(it);
+    --liveEvents_;
+    // The heap entry stays behind as a tombstone; popNext() skips it.
+    return true;
+}
+
+bool
+EventQueue::popNext(Entry &out)
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        if (callbacks_.count(e.id)) {
+            out = e;
+            return true;
+        }
+        // tombstone from a cancelled event
+    }
+    return false;
+}
+
+bool
+EventQueue::step()
+{
+    Entry e;
+    if (!popNext(e))
+        return false;
+    assert(e.when >= now_);
+    now_ = e.when;
+    auto node = callbacks_.extract(e.id);
+    --liveEvents_;
+    ++executed_;
+    node.mapped()();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty()) {
+        // Peek the next live event without executing it.
+        Entry e;
+        if (!popNext(e))
+            break;
+        if (e.when > limit) {
+            // Push it back: re-register under the same id.
+            heap_.push(e);
+            break;
+        }
+        now_ = e.when;
+        auto node = callbacks_.extract(e.id);
+        --liveEvents_;
+        ++executed_;
+        node.mapped()();
+    }
+    return now_;
+}
+
+} // namespace ltp

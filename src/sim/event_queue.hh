@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * Events are arbitrary callables scheduled at an absolute tick. Events
+ * scheduled for the same tick execute in scheduling order (FIFO within a
+ * tick), which makes every simulation run bit-reproducible.
+ */
+
+#ifndef LTP_SIM_EVENT_QUEUE_HH
+#define LTP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+/**
+ * Discrete-event scheduler.
+ *
+ * The queue owns the notion of "now" for a simulation. Clients schedule
+ * callbacks at absolute ticks (or relative delays) and then drive the
+ * simulation with run() / runUntil() / step().
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Handle used to cancel a scheduled event. */
+    using EventId = std::uint64_t;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @pre when >= now(); scheduling in the past is a caller bug.
+     * @return an id usable with cancel().
+     */
+    EventId scheduleAt(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId scheduleIn(Tick delay, Callback cb)
+    {
+        return scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event was pending and is now cancelled; false if
+     *         it already ran, was already cancelled, or never existed.
+     */
+    bool cancel(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t size() const { return liveEvents_; }
+
+    /**
+     * Execute the single next event (advancing time to it).
+     *
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. @return the final tick reached. */
+    Tick run();
+
+    /**
+     * Run until the queue drains or simulated time would exceed @p limit.
+     *
+     * Events at tick == limit still execute.
+     * @return the final tick reached.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Total number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq; //!< tie-breaker: FIFO within a tick
+        EventId id;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    /** Pop the next live entry; returns false if none. */
+    bool popNext(Entry &out);
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_map<EventId, Callback> callbacks_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::size_t liveEvents_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace ltp
+
+#endif // LTP_SIM_EVENT_QUEUE_HH

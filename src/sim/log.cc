@@ -1,0 +1,62 @@
+#include "sim/log.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace ltp
+{
+
+namespace
+{
+
+std::set<std::string> &
+categories()
+{
+    static std::set<std::string> cats = [] {
+        std::set<std::string> s;
+        if (const char *env = std::getenv("LTP_DEBUG")) {
+            std::string v(env);
+            std::size_t pos = 0;
+            while (pos < v.size()) {
+                std::size_t comma = v.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = v.size();
+                if (comma > pos)
+                    s.insert(v.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+        }
+        return s;
+    }();
+    return cats;
+}
+
+} // namespace
+
+bool
+Debug::enabled(const std::string &cat)
+{
+    const auto &cats = categories();
+    return cats.count("all") || cats.count(cat);
+}
+
+void
+Debug::enable(const std::string &cat)
+{
+    categories().insert(cat);
+}
+
+void
+Debug::clear()
+{
+    categories().clear();
+}
+
+void
+debugLog(const std::string &cat, Tick now, const std::string &msg)
+{
+    std::cerr << now << ": [" << cat << "] " << msg << "\n";
+}
+
+} // namespace ltp

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal leveled debug logging.
+ *
+ * Logging is off by default and enabled per category via the environment
+ * variable LTP_DEBUG (comma-separated category names, or "all"). Debug
+ * output never affects simulated behaviour.
+ */
+
+#ifndef LTP_SIM_LOG_HH
+#define LTP_SIM_LOG_HH
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+/** Global debug-category switchboard. */
+class Debug
+{
+  public:
+    /** True if category @p cat was enabled via LTP_DEBUG. */
+    static bool enabled(const std::string &cat);
+
+    /** Force-enable a category programmatically (used by tests). */
+    static void enable(const std::string &cat);
+    /** Disable all categories. */
+    static void clear();
+};
+
+/** Emit one debug line if @p cat is enabled. */
+void debugLog(const std::string &cat, Tick now, const std::string &msg);
+
+} // namespace ltp
+
+/**
+ * Convenience macro: DPRINTF("Proto", queue.now(), "got " << msg).
+ * The stream expression is only evaluated when the category is enabled.
+ */
+#define LTP_DPRINTF(cat, now, expr)                                         \
+    do {                                                                    \
+        if (::ltp::Debug::enabled(cat)) {                                   \
+            std::ostringstream oss_;                                        \
+            oss_ << expr;                                                   \
+            ::ltp::debugLog(cat, now, oss_.str());                          \
+        }                                                                   \
+    } while (0)
+
+#endif // LTP_SIM_LOG_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload kernels.
+ *
+ * We use SplitMix64: tiny, fast, full-period, and — unlike std::mt19937 —
+ * guaranteed to produce the same stream on every platform, which keeps
+ * simulation results reproducible across compilers.
+ */
+
+#ifndef LTP_SIM_RNG_HH
+#define LTP_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace ltp
+{
+
+/** SplitMix64 deterministic PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed)
+    {
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace ltp
+
+#endif // LTP_SIM_RNG_HH

@@ -1,0 +1,108 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace ltp
+{
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Average::reset()
+{
+    sum_ = 0.0;
+    count_ = 0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+Histogram::Histogram(double bucket_width, std::size_t n_buckets)
+    : width_(bucket_width), buckets_(n_buckets, 0)
+{
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    sum_ += v;
+    auto idx = static_cast<std::size_t>(v / width_);
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Average &
+StatGroup::average(const std::string &name)
+{
+    return averages_[name];
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+StatGroup::averageMean(const std::string &name) const
+{
+    auto it = averages_.find(name);
+    return it == averages_.end() ? 0.0 : it->second.mean();
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+bool
+StatGroup::hasAverage(const std::string &name) const
+{
+    return averages_.count(name) != 0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, a] : averages_) {
+        os << name << " mean=" << std::fixed << std::setprecision(2)
+           << a.mean() << " count=" << a.count() << " min=" << a.min()
+           << " max=" << a.max() << "\n";
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, a] : averages_)
+        a.reset();
+}
+
+} // namespace ltp

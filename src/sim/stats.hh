@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lightweight named-statistics package (counters, scalars, averages,
+ * histograms) used by every simulated component.
+ *
+ * A StatGroup is a flat registry of named statistics. Components create
+ * their stats against a group; harnesses dump or query the group after a
+ * run. The package is intentionally simple: everything is a double or a
+ * 64-bit counter, there is no hierarchy beyond the component name prefix.
+ */
+
+#ifndef LTP_SIM_STATS_HH
+#define LTP_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ltp
+{
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * An accumulating average: tracks sum, count, min and max of samples.
+ * Used for, e.g., per-message queueing delay at a directory.
+ */
+class Average
+{
+  public:
+    void sample(double v);
+
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    void reset();
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, bucketWidth * nBuckets); samples
+ * beyond the last bucket land in an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width, std::size_t n_buckets);
+
+    void sample(double v);
+
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return width_; }
+    std::uint64_t totalSamples() const { return total_; }
+    double mean() const { return total_ ? sum_ / double(total_) : 0.0; }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A flat, named registry of statistics.
+ *
+ * Names are dotted paths ("dir.0.queueing"). Registration returns a
+ * reference that stays valid for the lifetime of the group.
+ */
+class StatGroup
+{
+  public:
+    Counter &counter(const std::string &name);
+    Average &average(const std::string &name);
+
+    /** Look up an existing counter; creates a zero one if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+    /** Look up an existing average's mean (0.0 if absent). */
+    double averageMean(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const;
+    bool hasAverage(const std::string &name) const;
+
+    /** Dump every statistic, sorted by name, one per line. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every statistic to zero. */
+    void resetAll();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+};
+
+} // namespace ltp
+
+#endif // LTP_SIM_STATS_HH

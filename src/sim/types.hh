@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of the simulator.
+ */
+
+#ifndef LTP_SIM_TYPES_HH
+#define LTP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ltp
+{
+
+/** Simulation time, measured in processor clock cycles. */
+using Tick = std::uint64_t;
+
+/** A (physical) memory byte address. */
+using Addr = std::uint64_t;
+
+/** Program counter of a (simulated) memory instruction. */
+using Pc = std::uint64_t;
+
+/** Identifier of a DSM node (processor + memory + directory slice). */
+using NodeId = std::uint32_t;
+
+/** Sentinel node id meaning "no node". */
+constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel tick meaning "never". */
+constexpr Tick tickNever = std::numeric_limits<Tick>::max();
+
+} // namespace ltp
+
+#endif // LTP_SIM_TYPES_HH

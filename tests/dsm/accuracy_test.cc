@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Property-style sweeps over (kernel x predictor): accounting
+ * invariants that must hold for every combination, and the headline
+ * paper shapes as regression guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dsm/experiment.hh"
+
+namespace ltp
+{
+namespace
+{
+
+RunResult
+passiveRun(const std::string &kernel, PredictorKind kind,
+           double iter_scale = 0.5)
+{
+    ExperimentSpec spec;
+    spec.kernel = kernel;
+    spec.predictor = kind;
+    spec.mode = PredictorMode::Passive;
+    spec.iterScale = iter_scale;
+    return runExperiment(spec);
+}
+
+using Combo = std::tuple<std::string, PredictorKind>;
+
+class AccuracyInvariants
+    : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(AccuracyInvariants, ClassificationAddsUp)
+{
+    auto [kernel, kind] = GetParam();
+    RunResult r = passiveRun(kernel, kind);
+    ASSERT_TRUE(r.completed);
+    ASSERT_GT(r.invalidations, 0u);
+    // Every real invalidation is classified exactly once; premature
+    // predictions stack on top (Figure 6's >100% bars).
+    EXPECT_EQ(r.predicted + r.notPredicted, r.invalidations);
+    EXPECT_LE(r.accuracy(), 1.0);
+    // Passive monitoring must not issue real self-invalidations.
+    EXPECT_EQ(r.selfInvsIssued, 0u);
+    EXPECT_EQ(r.selfInvPremature, 0u);
+}
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> v;
+    for (const auto &k : allKernelNames()) {
+        v.emplace_back(k, PredictorKind::Dsi);
+        v.emplace_back(k, PredictorKind::LastPc);
+        v.emplace_back(k, PredictorKind::LtpPerBlock);
+        v.emplace_back(k, PredictorKind::LtpGlobal);
+    }
+    return v;
+}
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo> &info)
+{
+    std::string name = std::get<0>(info.param);
+    name += "_";
+    name += predictorKindName(std::get<1>(info.param));
+    for (auto &c : name)
+        if (c == '-')
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernelsAllPredictors, AccuracyInvariants,
+                         ::testing::ValuesIn(allCombos()), comboName);
+
+class ActiveInvariants : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ActiveInvariants, VerificationAccountingConsistent)
+{
+    ExperimentSpec spec;
+    spec.kernel = GetParam();
+    spec.predictor = PredictorKind::LtpPerBlock;
+    spec.mode = PredictorMode::Active;
+    spec.iterScale = 0.5;
+    RunResult r = runExperiment(spec);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.predicted + r.notPredicted, r.invalidations);
+    // Every issued self-invalidation is eventually correct, premature,
+    // or still unresolved at the end of the run — never more verdicts
+    // than issues.
+    std::uint64_t verdicts = r.selfInvTimelyCorrect +
+                             r.selfInvLateCorrect + r.selfInvPremature;
+    EXPECT_LE(verdicts, r.selfInvsIssued);
+    // Correct verdicts are what the controller scored as predicted.
+    EXPECT_EQ(r.predicted,
+              r.selfInvTimelyCorrect + r.selfInvLateCorrect);
+    EXPECT_EQ(r.mispredicted, r.selfInvPremature);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, ActiveInvariants,
+                         ::testing::ValuesIn(allKernelNames()),
+                         [](const auto &info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// Headline paper shapes, as regression guards (full-length runs).
+// ---------------------------------------------------------------------
+
+TEST(PaperShapes, LtpBeatsDsiAndLastPcOnAverage)
+{
+    double ltp = 0, dsi = 0, lpc = 0;
+    for (const auto &k : allKernelNames()) {
+        ltp += passiveRun(k, PredictorKind::LtpPerBlock, 1.0).accuracy();
+        dsi += passiveRun(k, PredictorKind::Dsi, 1.0).accuracy();
+        lpc += passiveRun(k, PredictorKind::LastPc, 1.0).accuracy();
+    }
+    ltp /= 9;
+    dsi /= 9;
+    lpc /= 9;
+    // Paper: LTP 79%, DSI 47%, Last-PC 41%.
+    EXPECT_GT(ltp, 0.70);
+    EXPECT_GT(ltp, dsi + 0.20);
+    EXPECT_GT(ltp, lpc + 0.20);
+    EXPECT_NEAR(dsi, 0.47, 0.12);
+    EXPECT_NEAR(lpc, 0.41, 0.12);
+}
+
+TEST(PaperShapes, Em3dPredictableByEveryone)
+{
+    for (PredictorKind kind : {PredictorKind::Dsi, PredictorKind::LastPc,
+                               PredictorKind::LtpPerBlock}) {
+        EXPECT_GT(passiveRun("em3d", kind, 1.0).accuracy(), 0.90)
+            << predictorKindName(kind);
+    }
+}
+
+TEST(PaperShapes, LastPcCollapsesOnLoopReuseApps)
+{
+    // moldyn: "less than 3%" in the paper.
+    EXPECT_LT(passiveRun("moldyn", PredictorKind::LastPc, 1.0).accuracy(),
+              0.10);
+    EXPECT_LT(passiveRun("tomcatv", PredictorKind::LastPc, 1.0).accuracy(),
+              0.45);
+    // But LTP handles the exact same reference streams.
+    EXPECT_GT(passiveRun("moldyn", PredictorKind::LtpPerBlock, 1.0)
+                  .accuracy(),
+              0.80);
+    EXPECT_GT(passiveRun("tomcatv", PredictorKind::LtpPerBlock, 1.0)
+                  .accuracy(),
+              0.85);
+}
+
+TEST(PaperShapes, BarnesDefeatsTracePredictors)
+{
+    EXPECT_LT(passiveRun("barnes", PredictorKind::LtpPerBlock, 1.0)
+                  .accuracy(),
+              0.35);
+}
+
+TEST(PaperShapes, DsiSkipsMigratorySharing)
+{
+    EXPECT_LT(passiveRun("unstructured", PredictorKind::Dsi, 1.0)
+                  .accuracy(),
+              0.50);
+    EXPECT_LT(passiveRun("raytrace", PredictorKind::Dsi, 1.0).accuracy(),
+              0.10);
+}
+
+TEST(PaperShapes, GlobalTableAliasesOnTomcatv)
+{
+    double per = passiveRun("tomcatv", PredictorKind::LtpPerBlock, 1.0)
+                     .accuracy();
+    ExperimentSpec spec;
+    spec.kernel = "tomcatv";
+    spec.predictor = PredictorKind::LtpGlobal;
+    spec.mode = PredictorMode::Passive;
+    spec.sigBits = 30;
+    RunResult g = runExperiment(spec);
+    EXPECT_LT(g.accuracy(), per - 0.10);
+    EXPECT_GT(g.mispredictionRate(), 0.02);
+}
+
+TEST(PaperShapes, ThirteenBitSignaturesSuffice)
+{
+    for (const auto &k : {"moldyn", "tomcatv", "appbt"}) {
+        ExperimentSpec spec;
+        spec.kernel = k;
+        spec.predictor = PredictorKind::LtpPerBlock;
+        spec.mode = PredictorMode::Passive;
+        spec.sigBits = 30;
+        double base = runExperiment(spec).accuracy();
+        spec.sigBits = 13;
+        double small = runExperiment(spec).accuracy();
+        EXPECT_NEAR(small, base, 0.03) << k;
+    }
+}
+
+TEST(PaperShapes, LtpSpeedsUpRegularApps)
+{
+    for (const auto &k : {"em3d", "tomcatv", "ocean"}) {
+        SpeedupResult s = runSpeedup(k, PredictorKind::LtpPerBlock);
+        EXPECT_GT(s.speedup(), 1.10) << k;
+    }
+}
+
+TEST(PaperShapes, LtpNeverSlowsMuch)
+{
+    for (const auto &k : allKernelNames()) {
+        SpeedupResult s = runSpeedup(k, PredictorKind::LtpPerBlock);
+        EXPECT_GT(s.speedup(), 0.98) << k;
+    }
+}
+
+TEST(PaperShapes, LtpTimelinessHighExceptRaytrace)
+{
+    ExperimentSpec spec;
+    spec.kernel = "em3d";
+    spec.predictor = PredictorKind::LtpPerBlock;
+    spec.mode = PredictorMode::Active;
+    EXPECT_GT(runExperiment(spec).timeliness(), 0.95);
+    spec.kernel = "raytrace";
+    EXPECT_LT(runExperiment(spec).timeliness(), 0.50);
+}
+
+} // namespace
+} // namespace ltp

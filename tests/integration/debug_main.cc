@@ -1,0 +1,57 @@
+// Ad-hoc diagnostic driver (not a test): runs one kernel and dumps stats.
+#include <cstdlib>
+#include <iostream>
+
+#include "dsm/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    ltp::ExperimentSpec spec;
+    spec.kernel = argc > 1 ? argv[1] : "tomcatv";
+    spec.predictor = ltp::PredictorKind::Base;
+    spec.mode = ltp::PredictorMode::Off;
+    if (argc > 2)
+        spec.iterScale = std::atof(argv[2]);
+
+    ltp::SystemParams sp;
+    sp.numNodes = argc > 3 ? std::atoi(argv[3]) : 32;
+    if (argc > 4) {
+        std::string pred = argv[4];
+        if (pred == "ltp")
+            sp.predictor = ltp::PredictorKind::LtpPerBlock;
+        else if (pred == "dsi")
+            sp.predictor = ltp::PredictorKind::Dsi;
+        else if (pred == "last-pc")
+            sp.predictor = ltp::PredictorKind::LastPc;
+        else if (pred == "ltp-global")
+            sp.predictor = ltp::PredictorKind::LtpGlobal;
+        sp.mode = argc > 5 && std::string(argv[5]) == "passive"
+                      ? ltp::PredictorMode::Passive
+                      : ltp::PredictorMode::Active;
+    }
+
+    ltp::KernelConfig cfg = ltp::defaultConfig(spec.kernel);
+    cfg.nodes = sp.numNodes;
+
+    ltp::DsmSystem sys(sp);
+    auto kernel = ltp::makeKernel(spec.kernel);
+    ltp::RunResult r = sys.run(*kernel, cfg);
+
+    std::cout << "completed=" << r.completed << " cycles=" << r.cycles
+              << " memOps=" << r.memOps
+              << " invalidations=" << r.invalidations << "\n";
+    if (!r.completed) {
+        for (ltp::NodeId n = 0; n < sp.numNodes; ++n) {
+            auto &node = sys.node(n);
+            std::cout << "node " << n << ": done=" << node.task.done()
+                      << " outstanding=" << node.cacheCtrl->hasOutstanding();
+            if (node.cacheCtrl->hasOutstanding())
+                std::cout << " blk=0x" << std::hex
+                          << node.cacheCtrl->outstandingBlock() << std::dec;
+            std::cout << "\n";
+        }
+    }
+    sys.stats().dump(std::cout);
+    return r.completed ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * End-to-end smoke tests: every kernel runs to completion on the base
+ * system and produces coherence activity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsm/experiment.hh"
+
+namespace ltp
+{
+namespace
+{
+
+class KernelSmoke : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(KernelSmoke, RunsToCompletionOnBaseSystem)
+{
+    ExperimentSpec spec;
+    spec.kernel = GetParam();
+    spec.predictor = PredictorKind::Base;
+    spec.mode = PredictorMode::Off;
+    spec.iterScale = 0.5;
+
+    RunResult r = runExperiment(spec);
+    EXPECT_TRUE(r.completed) << spec.kernel << " deadlocked or timed out";
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.memOps, 0u);
+    EXPECT_GT(r.invalidations, 0u)
+        << spec.kernel << " produced no coherence invalidations";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSmoke,
+                         ::testing::ValuesIn(allKernelNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace ltp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Structural tests for the benchmark kernels: each must reproduce the
+ * sharing-pattern fingerprints the paper attributes to it (checked via
+ * coarse run statistics rather than exact traces).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsm/experiment.hh"
+
+namespace ltp
+{
+namespace
+{
+
+RunResult
+baseRun(const std::string &kernel, double scale = 0.5)
+{
+    ExperimentSpec spec;
+    spec.kernel = kernel;
+    spec.predictor = PredictorKind::Base;
+    spec.mode = PredictorMode::Off;
+    spec.iterScale = scale;
+    return runExperiment(spec);
+}
+
+TEST(Kernels, AllProduceCoherenceTraffic)
+{
+    for (const auto &name : allKernelNames()) {
+        RunResult r = baseRun(name);
+        EXPECT_TRUE(r.completed) << name;
+        EXPECT_GT(r.invalidations, 100u) << name;
+        EXPECT_GT(r.memOps, 1000u) << name;
+    }
+}
+
+TEST(Kernels, WorkScalesWithIterations)
+{
+    RunResult half = baseRun("em3d", 0.5);
+    RunResult full = baseRun("em3d", 1.0);
+    EXPECT_GT(full.memOps, half.memOps + half.memOps / 2);
+    EXPECT_GT(full.invalidations, half.invalidations);
+}
+
+TEST(Kernels, DsmcIsComputeBound)
+{
+    // The paper: dsmc's computation overlaps/hides invalidations; the
+    // cycles-per-memop ratio must be much higher than em3d's.
+    RunResult dsmc = baseRun("dsmc");
+    RunResult em3d = baseRun("em3d");
+    double dsmc_cpm = double(dsmc.cycles) * 32 / double(dsmc.memOps);
+    double em3d_cpm = double(em3d.cycles) * 32 / double(em3d.memOps);
+    EXPECT_GT(dsmc_cpm, em3d_cpm);
+}
+
+TEST(Kernels, RaytraceIsLockSerialized)
+{
+    // The work pool lock is the critical path: the directory of its
+    // home node sees large queueing even without self-invalidation.
+    RunResult r = baseRun("raytrace", 1.0);
+    EXPECT_GT(r.dirQueueingMean, 100.0);
+}
+
+TEST(Kernels, BarnesChurnsMoreSignaturesThanEm3d)
+{
+    // The rebuilt octree keeps minting new traces: barnes accumulates
+    // far more last-touch signatures per active block than em3d.
+    ExperimentSpec spec;
+    spec.kernel = "barnes";
+    spec.predictor = PredictorKind::LtpPerBlock;
+    spec.mode = PredictorMode::Passive;
+    RunResult barnes = runExperiment(spec);
+    spec.kernel = "em3d";
+    RunResult em3d = runExperiment(spec);
+    EXPECT_GT(barnes.storage.entriesPerBlock(),
+              em3d.storage.entriesPerBlock() * 2);
+}
+
+TEST(Kernels, TomcatvOwnerWritesDominateTraffic)
+{
+    // 4 stores per owned block vs 3 boundary reads: writes (upgrades +
+    // exclusive grants) must be visible in the message mix.
+    RunResult r = baseRun("tomcatv");
+    EXPECT_GT(r.invalidations, 0u);
+}
+
+TEST(Kernels, ConfigDescriptionsMentionDimensions)
+{
+    for (const auto &name : allKernelNames()) {
+        auto cfg = defaultConfig(name);
+        auto desc = describeConfig(name, cfg);
+        EXPECT_NE(desc.find(name), std::string::npos);
+        EXPECT_NE(desc.find("iters"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace ltp

@@ -1,0 +1,83 @@
+/** @file Unit tests for the shared-address-space layout allocator. */
+
+#include <gtest/gtest.h>
+
+#include "kernel/layout.hh"
+
+namespace ltp
+{
+namespace
+{
+
+class LayoutTest : public ::testing::Test
+{
+  protected:
+    LayoutTest() : homes_(4096, 8), as_(homes_, 32) {}
+
+    HomeMap homes_;
+    AddressSpace as_;
+};
+
+TEST_F(LayoutTest, AllocPinsToRequestedHome)
+{
+    Addr a = as_.alloc("x", 100, 5);
+    EXPECT_EQ(homes_.home(a), 5u);
+    EXPECT_EQ(homes_.home(a + 99), 5u);
+}
+
+TEST_F(LayoutTest, AllocationsAreDisjointPages)
+{
+    Addr a = as_.alloc("a", 10, 0);
+    Addr b = as_.alloc("b", 10, 1);
+    EXPECT_GE(b - a, 4096u);
+    EXPECT_EQ(homes_.home(a), 0u);
+    EXPECT_EQ(homes_.home(b), 1u);
+}
+
+TEST_F(LayoutTest, MultiPageAllocationFullyPinned)
+{
+    Addr a = as_.alloc("big", 3 * 4096 + 1, 2);
+    for (Addr off = 0; off <= 3 * 4096; off += 4096)
+        EXPECT_EQ(homes_.home(a + off), 2u);
+}
+
+TEST_F(LayoutTest, PerNodeChunksHomedAtTheirNode)
+{
+    as_.allocPerNode("v", 64, 8);
+    for (NodeId n = 0; n < 8; ++n) {
+        Addr c = as_.chunkBase("v", n);
+        EXPECT_EQ(homes_.home(c), n);
+    }
+}
+
+TEST_F(LayoutTest, ChunkBasesEquallySpaced)
+{
+    as_.allocPerNode("v", 64, 8);
+    Addr d = as_.chunkBase("v", 1) - as_.chunkBase("v", 0);
+    for (NodeId n = 1; n + 1 < 8; ++n) {
+        EXPECT_EQ(as_.chunkBase("v", n + 1) - as_.chunkBase("v", n), d);
+    }
+}
+
+TEST_F(LayoutTest, StripedBlocksRoundRobinHomes)
+{
+    Addr base = as_.allocStriped("s", 16);
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(homes_.home(as_.stripedBlock(base, i)), NodeId(i % 8));
+}
+
+TEST_F(LayoutTest, RegionBaseLookup)
+{
+    Addr a = as_.alloc("named", 10, 0);
+    EXPECT_EQ(as_.regionBase("named"), a);
+    EXPECT_EQ(as_.regionBase("missing"), 0u);
+}
+
+TEST_F(LayoutTest, PageZeroUnused)
+{
+    Addr a = as_.alloc("first", 10, 0);
+    EXPECT_GE(a, 4096u);
+}
+
+} // namespace
+} // namespace ltp

@@ -1,0 +1,90 @@
+/** @file Unit and property tests for address math and home mapping. */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.hh"
+#include "sim/rng.hh"
+
+namespace ltp
+{
+namespace
+{
+
+TEST(BlockMath, AlignAndOffset)
+{
+    BlockMath m(32);
+    EXPECT_EQ(m.align(0), 0u);
+    EXPECT_EQ(m.align(31), 0u);
+    EXPECT_EQ(m.align(32), 32u);
+    EXPECT_EQ(m.offset(33), 1u);
+    EXPECT_EQ(m.blockNum(64), 2u);
+}
+
+TEST(BlockMath, SameBlock)
+{
+    BlockMath m(32);
+    EXPECT_TRUE(m.sameBlock(0, 31));
+    EXPECT_FALSE(m.sameBlock(31, 32));
+}
+
+TEST(BlockMath, AlignIsIdempotentProperty)
+{
+    BlockMath m(64);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        Addr a = rng.next() & 0xffffffffff;
+        Addr al = m.align(a);
+        EXPECT_EQ(m.align(al), al);
+        EXPECT_LE(al, a);
+        EXPECT_LT(a - al, 64u);
+        EXPECT_EQ(al + m.offset(a), a);
+    }
+}
+
+TEST(IsPowerOf2, Basics)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+}
+
+TEST(HomeMap, DefaultInterleavesByPage)
+{
+    HomeMap h(4096, 4);
+    EXPECT_EQ(h.home(0), 0u);
+    EXPECT_EQ(h.home(4096), 1u);
+    EXPECT_EQ(h.home(4 * 4096), 0u);
+    // Same page, same home.
+    EXPECT_EQ(h.home(4096 + 17), 1u);
+}
+
+TEST(HomeMap, PinOverridesInterleave)
+{
+    HomeMap h(4096, 4);
+    h.pinPageOf(4096, 3);
+    EXPECT_EQ(h.home(4096), 3u);
+    EXPECT_EQ(h.home(8191), 3u);
+    EXPECT_EQ(h.home(8192), 2u); // next page untouched
+}
+
+TEST(HomeMap, PinRangeCoversAllPages)
+{
+    HomeMap h(4096, 8);
+    h.pinRange(4096, 3 * 4096, 5);
+    EXPECT_EQ(h.home(4096), 5u);
+    EXPECT_EQ(h.home(2 * 4096), 5u);
+    EXPECT_EQ(h.home(4 * 4096 - 1), 5u);
+    EXPECT_NE(h.home(4 * 4096), 5u);
+}
+
+TEST(HomeMap, HomeAlwaysValidProperty)
+{
+    HomeMap h(4096, 32);
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(h.home(rng.next() & 0xffffffff), 32u);
+}
+
+} // namespace
+} // namespace ltp

@@ -1,0 +1,72 @@
+/** @file Unit tests for simulated memory values. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_values.hh"
+
+namespace ltp
+{
+namespace
+{
+
+TEST(MemoryValues, AbsentWordsReadZero)
+{
+    MemoryValues m;
+    EXPECT_EQ(m.load(0x1000), 0u);
+}
+
+TEST(MemoryValues, StoreLoadRoundTrip)
+{
+    MemoryValues m;
+    m.store(0x1000, 42);
+    EXPECT_EQ(m.load(0x1000), 42u);
+}
+
+TEST(MemoryValues, WordAligned)
+{
+    MemoryValues m;
+    m.store(0x1000, 7);
+    // Any byte address within the word maps to the same storage.
+    EXPECT_EQ(m.load(0x1007), 7u);
+    m.store(0x1004, 9);
+    EXPECT_EQ(m.load(0x1000), 9u);
+}
+
+TEST(MemoryValues, DistinctWordsIndependent)
+{
+    MemoryValues m;
+    m.store(0x1000, 1);
+    m.store(0x1008, 2);
+    EXPECT_EQ(m.load(0x1000), 1u);
+    EXPECT_EQ(m.load(0x1008), 2u);
+}
+
+TEST(MemoryValues, TestAndSetReturnsOld)
+{
+    MemoryValues m;
+    EXPECT_EQ(m.testAndSet(0x2000, 1), 0u);
+    EXPECT_EQ(m.testAndSet(0x2000, 1), 1u);
+    EXPECT_EQ(m.load(0x2000), 1u);
+    m.store(0x2000, 0);
+    EXPECT_EQ(m.testAndSet(0x2000, 1), 0u);
+}
+
+TEST(MemoryValues, FetchAddAccumulates)
+{
+    MemoryValues m;
+    EXPECT_EQ(m.fetchAdd(0x3000, 5), 0u);
+    EXPECT_EQ(m.fetchAdd(0x3000, 5), 5u);
+    EXPECT_EQ(m.load(0x3000), 10u);
+}
+
+TEST(MemoryValues, WordCountTracksDistinctWords)
+{
+    MemoryValues m;
+    m.store(0x1000, 1);
+    m.store(0x1004, 2); // same word
+    m.store(0x1008, 3);
+    EXPECT_EQ(m.wordCount(), 2u);
+}
+
+} // namespace
+} // namespace ltp

@@ -1,0 +1,115 @@
+/** @file Behavioural tests for the DSI comparison scheme. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "predictor/dsi.hh"
+
+namespace ltp
+{
+namespace
+{
+
+/** Captures the self-invalidation requests DSI issues at boundaries. */
+class RecordingPort : public SelfInvalidationPort
+{
+  public:
+    void requestSelfInvalidate(Addr blk) override { flushed.push_back(blk); }
+
+    std::vector<Addr> flushed;
+};
+
+class DsiTest : public ::testing::Test
+{
+  protected:
+    DsiTest() { dsi_.setPort(&port_); }
+
+    DsiPredictor dsi_;
+    RecordingPort port_;
+};
+
+TEST_F(DsiTest, NeverPredictsAtATouch)
+{
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(dsi_.onTouch(0x100, 0x1000 + i * 4, i % 2, i == 0));
+}
+
+TEST_F(DsiTest, CandidateMarkedByFillInfo)
+{
+    dsi_.onFillInfo(0x100, FillInfo{true});
+    EXPECT_TRUE(dsi_.isCandidate(0x100));
+    EXPECT_EQ(dsi_.numCandidates(), 1u);
+}
+
+TEST_F(DsiTest, NonCandidateFillClears)
+{
+    dsi_.onFillInfo(0x100, FillInfo{true});
+    dsi_.onFillInfo(0x100, FillInfo{false}); // e.g., migratory upgrade
+    EXPECT_FALSE(dsi_.isCandidate(0x100));
+}
+
+TEST_F(DsiTest, SyncBoundaryFlushesAllCandidates)
+{
+    dsi_.onFillInfo(0x100, FillInfo{true});
+    dsi_.onFillInfo(0x200, FillInfo{true});
+    dsi_.onFillInfo(0x300, FillInfo{false});
+    dsi_.onSyncBoundary();
+    EXPECT_EQ(port_.flushed, (std::vector<Addr>{0x100, 0x200}));
+}
+
+TEST_F(DsiTest, FlushIsRepeatedEveryBoundary)
+{
+    // Candidacy survives the flush (the block will be re-fetched and
+    // re-versioned); every boundary flushes the whole list — the
+    // burstiness the paper measures.
+    dsi_.onFillInfo(0x100, FillInfo{true});
+    dsi_.onSyncBoundary();
+    dsi_.onSyncBoundary();
+    EXPECT_EQ(port_.flushed.size(), 2u);
+}
+
+TEST_F(DsiTest, InvalidationDropsCandidate)
+{
+    dsi_.onFillInfo(0x100, FillInfo{true});
+    dsi_.onInvalidation(0x100);
+    dsi_.onSyncBoundary();
+    EXPECT_TRUE(port_.flushed.empty());
+}
+
+TEST_F(DsiTest, PrematureVerificationDropsCandidate)
+{
+    // After a premature flush the re-fetched copy's version matches the
+    // directory again, so the block stops being a candidate.
+    dsi_.onFillInfo(0x100, FillInfo{true});
+    dsi_.onVerification(0x100, /*premature=*/true);
+    dsi_.onSyncBoundary();
+    EXPECT_TRUE(port_.flushed.empty());
+}
+
+TEST_F(DsiTest, CorrectVerificationKeepsCandidate)
+{
+    dsi_.onFillInfo(0x100, FillInfo{true});
+    dsi_.onVerification(0x100, /*premature=*/false);
+    dsi_.onSyncBoundary();
+    EXPECT_EQ(port_.flushed.size(), 1u);
+}
+
+TEST_F(DsiTest, FlushOrderIsDeterministic)
+{
+    dsi_.onFillInfo(0x300, FillInfo{true});
+    dsi_.onFillInfo(0x100, FillInfo{true});
+    dsi_.onFillInfo(0x200, FillInfo{true});
+    dsi_.onSyncBoundary();
+    EXPECT_EQ(port_.flushed, (std::vector<Addr>{0x100, 0x200, 0x300}));
+}
+
+TEST_F(DsiTest, NoPortNoCrash)
+{
+    DsiPredictor lone;
+    lone.onFillInfo(0x100, FillInfo{true});
+    lone.onSyncBoundary(); // must not dereference a null port
+}
+
+} // namespace
+} // namespace ltp

@@ -1,0 +1,94 @@
+/** @file Unit tests for raw directory state (DirEntry bit bookkeeping). */
+
+#include <gtest/gtest.h>
+
+#include "proto/directory.hh"
+
+namespace ltp
+{
+namespace
+{
+
+TEST(DirEntry, StartsIdleAndEmpty)
+{
+    DirEntry e;
+    EXPECT_EQ(e.state, DirState::Idle);
+    EXPECT_EQ(e.numSharers(), 0u);
+    EXPECT_EQ(e.owner, invalidNode);
+    EXPECT_FALSE(e.busy);
+}
+
+TEST(DirEntry, SharerBitOps)
+{
+    DirEntry e;
+    e.addSharer(3);
+    e.addSharer(31);
+    e.addSharer(63);
+    EXPECT_TRUE(e.isSharer(3));
+    EXPECT_TRUE(e.isSharer(31));
+    EXPECT_TRUE(e.isSharer(63));
+    EXPECT_FALSE(e.isSharer(4));
+    EXPECT_EQ(e.numSharers(), 3u);
+    e.removeSharer(31);
+    EXPECT_FALSE(e.isSharer(31));
+    EXPECT_EQ(e.numSharers(), 2u);
+}
+
+TEST(DirEntry, AddSharerIdempotent)
+{
+    DirEntry e;
+    e.addSharer(5);
+    e.addSharer(5);
+    EXPECT_EQ(e.numSharers(), 1u);
+}
+
+TEST(DirEntry, VerifMaskTracksTimeliness)
+{
+    DirEntry e;
+    e.setVerif(2, /*timely=*/true);
+    e.setVerif(7, /*timely=*/false);
+    EXPECT_TRUE(e.inVerifMask(2));
+    EXPECT_TRUE(e.inVerifMask(7));
+    EXPECT_TRUE(e.clearVerif(2));
+    EXPECT_FALSE(e.clearVerif(7));
+    EXPECT_FALSE(e.inVerifMask(2));
+    EXPECT_FALSE(e.inVerifMask(7));
+}
+
+TEST(DirEntry, SetVerifOverwritesTimeliness)
+{
+    DirEntry e;
+    e.setVerif(1, true);
+    e.setVerif(1, false);
+    EXPECT_FALSE(e.clearVerif(1));
+}
+
+TEST(Directory, EntryCreatedOnDemand)
+{
+    Directory d;
+    EXPECT_EQ(d.find(0x100), nullptr);
+    d.entry(0x100).addSharer(1);
+    ASSERT_NE(d.find(0x100), nullptr);
+    EXPECT_TRUE(d.find(0x100)->isSharer(1));
+    EXPECT_EQ(d.numEntries(), 1u);
+}
+
+TEST(Directory, ForEachVisitsAll)
+{
+    Directory d;
+    d.entry(0x100);
+    d.entry(0x200);
+    unsigned count = 0;
+    d.forEach([&](Addr, const DirEntry &) { ++count; });
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(DirStateName, AllNamed)
+{
+    EXPECT_STREQ(dirStateName(DirState::Idle), "Idle");
+    EXPECT_STREQ(dirStateName(DirState::Shared), "Shared");
+    EXPECT_STREQ(dirStateName(DirState::Exclusive), "Exclusive");
+}
+
+} // namespace
+} // namespace ltp

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Coherence-protocol scenario tests: a hand-wired mini-DSM (4 nodes)
+ * driven by explicit accesses, checking directory state transitions,
+ * message flows, latencies, self-invalidation handling, and the
+ * Section 4 verification mask.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "net/network.hh"
+#include "proto/cache_controller.hh"
+#include "proto/dir_controller.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace ltp
+{
+namespace
+{
+
+constexpr NodeId kNodes = 4;
+
+class ProtocolTest : public ::testing::Test
+{
+  protected:
+    ProtocolTest() : homes_(4096, kNodes)
+    {
+        net_ = std::make_unique<Network>(eq_, kNodes, NetworkParams{},
+                                         stats_);
+        for (NodeId n = 0; n < kNodes; ++n) {
+            caches_.push_back(std::make_unique<CacheController>(
+                n, eq_, *net_, homes_, CacheParams{}, stats_));
+            dirs_.push_back(std::make_unique<DirController>(
+                n, eq_, *net_, DirParams{}, stats_));
+        }
+        for (NodeId n = 0; n < kNodes; ++n) {
+            net_->setSink(n, [this, n](const Message &m) {
+                switch (m.type) {
+                  case MsgType::GetS:
+                  case MsgType::GetX:
+                  case MsgType::InvAck:
+                  case MsgType::WbData:
+                  case MsgType::SelfInvS:
+                  case MsgType::SelfInvX:
+                  case MsgType::EvictS:
+                  case MsgType::EvictX:
+                    dirs_[n]->receive(m);
+                    break;
+                  default:
+                    caches_[n]->receive(m);
+                }
+            });
+            dirs_[n]->setVerifyHook([this](NodeId who, Addr blk,
+                                           bool premature, bool timely) {
+                verifications_.push_back({who, blk, premature, timely});
+            });
+        }
+    }
+
+    /** Issue an access from node @p n and run to completion. */
+    Tick
+    access(NodeId n, Addr addr, bool write, Pc pc = 0x1000)
+    {
+        Tick latency = 0;
+        bool done = false;
+        caches_[n]->access(addr, pc, write, [&](Tick lat, bool) {
+            latency = lat;
+            done = true;
+        });
+        eq_.run();
+        EXPECT_TRUE(done);
+        return latency;
+    }
+
+    DirEntry &
+    dirEntry(Addr blk)
+    {
+        return dirs_[homes_.home(blk)]->directory().entry(blk);
+    }
+
+    struct Verification
+    {
+        NodeId who;
+        Addr blk;
+        bool premature;
+        bool timely;
+    };
+
+    EventQueue eq_;
+    StatGroup stats_;
+    HomeMap homes_;
+    std::unique_ptr<Network> net_;
+    std::vector<std::unique_ptr<CacheController>> caches_;
+    std::vector<std::unique_ptr<DirController>> dirs_;
+    std::vector<Verification> verifications_;
+};
+
+// Block homed at node 1 (page 1 under interleave).
+constexpr Addr blkB = 0x1000;
+// Block homed at node 0.
+constexpr Addr blkA = 0x0100;
+
+TEST_F(ProtocolTest, ColdReadGoesSharedAtDirectory)
+{
+    access(0, blkB, false);
+    DirEntry &e = dirEntry(blkB);
+    EXPECT_EQ(e.state, DirState::Shared);
+    EXPECT_TRUE(e.isSharer(0));
+    EXPECT_EQ(caches_[0]->cache().state(blkB), CacheState::Shared);
+}
+
+TEST_F(ProtocolTest, ColdWriteGoesExclusive)
+{
+    access(0, blkB, true);
+    DirEntry &e = dirEntry(blkB);
+    EXPECT_EQ(e.state, DirState::Exclusive);
+    EXPECT_EQ(e.owner, 0u);
+    EXPECT_EQ(caches_[0]->cache().state(blkB), CacheState::Exclusive);
+}
+
+TEST_F(ProtocolTest, RemoteReadRoundTripNear416)
+{
+    // Table 1: round-trip remote miss latency of 416 cycles with a
+    // remote-to-local ratio of ~4.
+    Tick remote = access(0, blkB, false);
+    EXPECT_NEAR(double(remote), 416.0, 30.0);
+}
+
+TEST_F(ProtocolTest, LocalMissNear104)
+{
+    Tick local = access(0, blkA, false);
+    EXPECT_NEAR(double(local), 104.0, 25.0);
+}
+
+TEST_F(ProtocolTest, RemoteToLocalRatioNearFour)
+{
+    Tick local = access(0, blkA, false);
+    Tick remote = access(0, blkB, false);
+    EXPECT_NEAR(double(remote) / double(local), 4.0, 0.8);
+}
+
+TEST_F(ProtocolTest, HitIsOneCycle)
+{
+    access(0, blkB, false);
+    EXPECT_EQ(access(0, blkB, false), 1u);
+}
+
+TEST_F(ProtocolTest, MultipleReadersShareBlock)
+{
+    access(0, blkB, false);
+    access(2, blkB, false);
+    access(3, blkB, false);
+    DirEntry &e = dirEntry(blkB);
+    EXPECT_EQ(e.state, DirState::Shared);
+    EXPECT_EQ(e.numSharers(), 3u);
+}
+
+TEST_F(ProtocolTest, WriteInvalidatesAllSharers)
+{
+    access(0, blkB, false);
+    access(2, blkB, false);
+    access(3, blkB, true);
+    DirEntry &e = dirEntry(blkB);
+    EXPECT_EQ(e.state, DirState::Exclusive);
+    EXPECT_EQ(e.owner, 3u);
+    EXPECT_EQ(e.numSharers(), 0u);
+    EXPECT_EQ(caches_[0]->cache().state(blkB), CacheState::Invalid);
+    EXPECT_EQ(caches_[2]->cache().state(blkB), CacheState::Invalid);
+}
+
+TEST_F(ProtocolTest, ReadInvalidatesWriterMigratoryProtocol)
+{
+    // The paper focuses on protocols that invalidate the writer's copy
+    // on a read.
+    access(0, blkB, true);
+    access(2, blkB, false);
+    DirEntry &e = dirEntry(blkB);
+    EXPECT_EQ(e.state, DirState::Shared);
+    EXPECT_TRUE(e.isSharer(2));
+    EXPECT_EQ(caches_[0]->cache().state(blkB), CacheState::Invalid);
+}
+
+TEST_F(ProtocolTest, ThreeHopReadCostsMoreThanTwoHop)
+{
+    Tick two_hop = access(0, blkB, false);
+    access(2, blkB, true); // now exclusive at node 2
+    Tick three_hop = access(3, blkB, false);
+    EXPECT_GT(three_hop, two_hop + 100);
+}
+
+TEST_F(ProtocolTest, UpgradeFromSoleSharerIsCheap)
+{
+    access(0, blkB, false);
+    Tick upgrade = access(0, blkB, true);
+    // No memory access, no writeback: control round trip only.
+    EXPECT_LT(upgrade, 350u);
+    EXPECT_EQ(dirEntry(blkB).state, DirState::Exclusive);
+    EXPECT_EQ(dirEntry(blkB).owner, 0u);
+}
+
+TEST_F(ProtocolTest, WriteAfterWriteMigrates)
+{
+    access(0, blkB, true);
+    access(2, blkB, true);
+    DirEntry &e = dirEntry(blkB);
+    EXPECT_EQ(e.owner, 2u);
+    EXPECT_EQ(caches_[0]->cache().state(blkB), CacheState::Invalid);
+}
+
+TEST_F(ProtocolTest, VersionIncrementsPerExclusiveGrant)
+{
+    access(0, blkB, true);
+    access(2, blkB, true);
+    access(3, blkB, true);
+    EXPECT_EQ(dirEntry(blkB).version, 3u);
+}
+
+TEST_F(ProtocolTest, InvalidationsCountedAtCaches)
+{
+    access(0, blkB, false);
+    access(2, blkB, false);
+    access(3, blkB, true);
+    EXPECT_EQ(stats_.counterValue("pred.invalidations"), 2u);
+}
+
+TEST_F(ProtocolTest, DirectoryStatsSampled)
+{
+    access(0, blkB, false);
+    EXPECT_GT(stats_.average("dir.queueing").count(), 0u);
+    EXPECT_GT(stats_.averageMean("dir.service"), 0.0);
+}
+
+} // namespace
+} // namespace ltp

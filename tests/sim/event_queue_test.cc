@@ -1,0 +1,152 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace ltp
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, FifoWithinSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(5, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(100, [&] {
+        eq.scheduleIn(50, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto id = eq.scheduleAt(10, [&] { ran = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue eq;
+    auto id = eq.scheduleAt(10, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterExecutionFails)
+{
+    EventQueue eq;
+    auto id = eq.scheduleAt(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.scheduleAt(1, [&] { ++count; });
+    eq.scheduleAt(2, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    for (Tick t = 10; t <= 100; t += 10)
+        eq.scheduleAt(t, [&, t] { ticks.push_back(t); });
+    eq.runUntil(50);
+    EXPECT_EQ(ticks.size(), 5u);
+    EXPECT_EQ(eq.size(), 5u);
+    // The remaining events still run afterwards.
+    eq.run();
+    EXPECT_EQ(ticks.size(), 10u);
+}
+
+TEST(EventQueue, RunUntilExecutesEventAtLimit)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.scheduleAt(50, [&] { ran = true; });
+    eq.runUntil(50);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            eq.scheduleIn(1, recurse);
+    };
+    eq.scheduleAt(0, recurse);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 4u);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.scheduleAt(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 7u);
+}
+
+TEST(EventQueue, CancelledEventNotCounted)
+{
+    EventQueue eq;
+    auto id = eq.scheduleAt(1, [] {});
+    eq.scheduleAt(2, [] {});
+    eq.cancel(id);
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 1u);
+}
+
+} // namespace
+} // namespace ltp

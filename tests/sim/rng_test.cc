@@ -1,0 +1,81 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace ltp
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differed = false;
+    for (int i = 0; i < 16; ++i)
+        differed |= a.next() != b.next();
+    EXPECT_TRUE(differed);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        hit_lo |= v == 3;
+        hit_hi |= v == 5;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Law of large numbers: mean should be near 0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, SplitMix64KnownValue)
+{
+    // SplitMix64 reference: seed 0 -> first output.
+    Rng r(0);
+    EXPECT_EQ(r.next(), 0xe220a8397b1dcdafull);
+}
+
+} // namespace
+} // namespace ltp

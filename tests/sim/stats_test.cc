@@ -1,0 +1,134 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace ltp
+{
+namespace
+{
+
+TEST(Counter, StartsAtZeroAndIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(10);
+    a.sample(20);
+    a.sample(0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 10.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 20.0);
+}
+
+TEST(Average, ResetClears)
+{
+    Average a;
+    a.sample(5);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Average, NegativeSamples)
+{
+    Average a;
+    a.sample(-4);
+    a.sample(4);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -4.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 4); // [0,40) in 4 buckets
+    h.sample(0);
+    h.sample(9.9);
+    h.sample(10);
+    h.sample(39.9);
+    h.sample(40);
+    h.sample(1000);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.totalSamples(), 6u);
+}
+
+TEST(Histogram, MeanOverAllSamples)
+{
+    Histogram h(1.0, 2);
+    h.sample(1);
+    h.sample(3);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(StatGroup, CounterIsPersistentByName)
+{
+    StatGroup g;
+    g.counter("a.b").inc(3);
+    g.counter("a.b").inc(4);
+    EXPECT_EQ(g.counterValue("a.b"), 7u);
+}
+
+TEST(StatGroup, MissingCounterReadsZero)
+{
+    StatGroup g;
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+    EXPECT_FALSE(g.hasCounter("missing"));
+}
+
+TEST(StatGroup, AverageByName)
+{
+    StatGroup g;
+    g.average("lat").sample(100);
+    g.average("lat").sample(200);
+    EXPECT_DOUBLE_EQ(g.averageMean("lat"), 150.0);
+    EXPECT_TRUE(g.hasAverage("lat"));
+}
+
+TEST(StatGroup, DumpContainsAllStats)
+{
+    StatGroup g;
+    g.counter("x").inc(5);
+    g.average("y").sample(1.5);
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("x 5"), std::string::npos);
+    EXPECT_NE(oss.str().find("y mean=1.50"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllZeroesEverything)
+{
+    StatGroup g;
+    g.counter("x").inc(5);
+    g.average("y").sample(2);
+    g.resetAll();
+    EXPECT_EQ(g.counterValue("x"), 0u);
+    EXPECT_EQ(g.average("y").count(), 0u);
+}
+
+} // namespace
+} // namespace ltp
