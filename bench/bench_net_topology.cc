@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Topology sweep (noxim_explorer-style): run kernels across interconnect
+ * topologies and node counts and compare execution time and network
+ * behavior. The paper's constant-latency point-to-point model ("p2p") is
+ * the baseline; mesh/torus/ring make latency hop-count- and
+ * congestion-dependent, which is the knob that stresses self-invalidation
+ * timeliness (Table 4) and speedup (Figure 9) under realistic networks.
+ *
+ *   $ ./bench_net_topology [kernel...]      (default: tomcatv em3d)
+ *
+ * Columns: total cycles, messages, end-to-end latency (mean / p50 / p99),
+ * mean route length, and the busiest physical link's utilization.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace ltp;
+
+namespace
+{
+
+void
+sweepKernel(const std::string &kernel)
+{
+    static const NodeId node_counts[] = {16, 32, 64};
+
+    std::printf("\n== %s ==\n", kernel.c_str());
+    std::printf("%5s %-6s | %12s %10s | %8s %6s %6s | %6s %8s\n", "nodes",
+                "topo", "cycles", "msgs", "latMean", "p50", "p99", "hops",
+                "maxLink%");
+
+    for (NodeId nodes : node_counts) {
+        for (TopologyKind topo : allTopologyKinds()) {
+            ExperimentSpec spec;
+            spec.kernel = kernel;
+            spec.predictor = PredictorKind::Base;
+            spec.mode = PredictorMode::Off;
+            spec.nodes = nodes;
+            spec.topology = topo;
+            RunResult r = runExperiment(spec);
+
+            std::printf("%5u %-6s | %12llu %10llu | %8.1f %6.0f %6.0f | "
+                        "%6.2f %8.1f\n",
+                        unsigned(nodes), topologyKindName(topo),
+                        (unsigned long long)r.cycles,
+                        (unsigned long long)r.netMsgs, r.netLatencyMean,
+                        r.netLatencyP50, r.netLatencyP99, r.netHopMean,
+                        bench::pct(r.peakLinkUtilization()));
+            if (r.netLatencyOverflow) {
+                std::printf("      ^ %llu samples beyond histogram range; "
+                            "p50/p99 clamped\n",
+                            (unsigned long long)r.netLatencyOverflow);
+            }
+            if (!r.completed)
+                std::printf("      ^ did not complete before maxTicks\n");
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::printSystemBanner();
+    std::printf("# topology sweep: per-hop latency/occupancy and per-link "
+                "contention (see src/net/README.md)\n");
+
+    std::vector<std::string> kernels;
+    for (int i = 1; i < argc; ++i)
+        kernels.push_back(argv[i]);
+    if (kernels.empty())
+        kernels = {"tomcatv", "em3d"};
+
+    // Reject any bad name before the (minutes-long) sweeps start.
+    for (const auto &kernel : kernels) {
+        bool known = false;
+        for (const auto &name : allKernelNames())
+            known |= name == kernel;
+        if (!known) {
+            std::fprintf(stderr, "unknown kernel '%s'\n", kernel.c_str());
+            return 1;
+        }
+    }
+
+    for (const auto &kernel : kernels)
+        sweepKernel(kernel);
+    return 0;
+}

@@ -3,7 +3,12 @@
  * Predictor design-space explorer: sweep predictor organizations and
  * signature widths over one benchmark from the command line.
  *
- *   $ ./examples/predictor_explorer [kernel]        (default: tomcatv)
+ *   $ ./example_predictor_explorer [kernel] [topology]
+ *
+ * Defaults: tomcatv on the paper's point-to-point network. Topology is
+ * one of p2p | mesh | torus | ring (see src/net/README.md), so the
+ * accuracy study can be reproduced under hop- and congestion-dependent
+ * network latency.
  *
  * Prints an accuracy/storage matrix — the kind of study Sections 5.2
  * and 5.3 of the paper run — for the chosen workload.
@@ -32,8 +37,23 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::printf("predictor design space on '%s' (%s)\n", kernel.c_str(),
-                describeConfig(kernel, defaultConfig(kernel)).c_str());
+    TopologyKind topology = TopologyKind::PointToPoint;
+    if (argc > 2) {
+        auto parsed = parseTopologyKind(argv[2]);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "unknown topology '%s'; choose one of: p2p mesh "
+                         "torus ring\n",
+                         argv[2]);
+            return 1;
+        }
+        topology = *parsed;
+    }
+
+    std::printf("predictor design space on '%s' (%s), topology=%s\n",
+                kernel.c_str(),
+                describeConfig(kernel, defaultConfig(kernel)).c_str(),
+                topologyKindName(topology));
     std::printf("%-12s %6s %10s %10s %10s %10s\n", "organization",
                 "bits", "pred%", "mispred%", "ent/blk", "bytes/blk");
 
@@ -60,6 +80,7 @@ main(int argc, char **argv)
         spec.predictor = row.kind;
         spec.mode = PredictorMode::Passive;
         spec.sigBits = row.bits ? row.bits : 30;
+        spec.topology = topology;
         RunResult r = runExperiment(spec);
         std::printf("%-12s %6u %10.1f %10.1f", row.label, row.bits,
                     100 * r.accuracy(), 100 * r.mispredictionRate());

@@ -12,6 +12,10 @@ runExperiment(const ExperimentSpec &spec)
                                                   spec.mode, spec.sigBits);
     if (spec.nodes)
         sp.numNodes = *spec.nodes;
+    if (spec.net)
+        sp.net = *spec.net;
+    else
+        sp.net.topology = spec.topology;
 
     KernelConfig cfg =
         spec.config ? *spec.config : defaultConfig(spec.kernel);

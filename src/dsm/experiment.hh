@@ -30,6 +30,10 @@ struct ExperimentSpec
     double iterScale = 1.0;
     std::optional<KernelConfig> config; //!< overrides defaultConfig()
     std::optional<NodeId> nodes;        //!< overrides 32
+    /** Interconnect topology (paper's point-to-point by default). */
+    TopologyKind topology = TopologyKind::PointToPoint;
+    /** Full network-knob override (wins over `topology` when set). */
+    std::optional<NetworkParams> net;
 };
 
 /** Run one experiment on a fresh system. */

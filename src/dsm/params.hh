@@ -38,7 +38,10 @@ struct SystemParams
 
     CacheParams cache;   //!< 32 B blocks, unbounded (network cache)
     DirParams dir;       //!< 104-cycle memory, two-stage pipelined engine
-    NetworkParams net;   //!< 80-cycle flight latency, NI contention
+    /** Interconnect model. Defaults to the paper's point-to-point network
+     *  (80-cycle flight latency, NI contention); set net.topology to
+     *  Mesh2D/Torus2D/Ring for hop- and congestion-dependent latency. */
+    NetworkParams net;
 
     Tick barrierLatency = 200;
 
@@ -54,6 +57,8 @@ struct SystemParams
     static SystemParams withPredictor(PredictorKind kind,
                                       PredictorMode mode,
                                       unsigned sig_bits = 30);
+    /** Base system on interconnect topology @p kind. */
+    static SystemParams withTopology(TopologyKind kind, NodeId nodes = 32);
 };
 
 } // namespace ltp

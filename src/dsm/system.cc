@@ -41,12 +41,20 @@ SystemParams::withPredictor(PredictorKind kind, PredictorMode mode,
     return p;
 }
 
+SystemParams
+SystemParams::withTopology(TopologyKind kind, NodeId nodes)
+{
+    SystemParams p;
+    p.numNodes = nodes;
+    p.net.topology = kind;
+    return p;
+}
+
 DsmSystem::DsmSystem(SystemParams params)
     : params_(params),
       homes_(params.pageSize, params.numNodes),
       as_(std::make_unique<AddressSpace>(homes_, params.cache.blockSize)),
-      net_(std::make_unique<Network>(eq_, params.numNodes, params.net,
-                                     stats_)),
+      net_(makeInterconnect(eq_, params.numNodes, params.net, stats_)),
       sync_(std::make_unique<SyncDomain>(eq_, params.numNodes,
                                          params.barrierLatency))
 {
@@ -155,6 +163,16 @@ DsmSystem::collect(bool completed) const
     r.selfInvLateCorrect = stats_.counterValue("dir.selfInvLateCorrect");
     r.selfInvPremature = stats_.counterValue("dir.selfInvPremature");
     r.selfInvsIssued = stats_.counterValue("pred.selfInvsIssued");
+
+    r.netMsgs = stats_.counterValue("net.msgs");
+    r.netLatencyMean = stats_.averageMean("net.endToEndLatency");
+    if (const Histogram *h = stats_.findHistogram("net.endToEndLatency")) {
+        r.netLatencyP50 = h->percentile(0.5);
+        r.netLatencyP99 = h->percentile(0.99);
+        r.netLatencyOverflow = h->overflow();
+    }
+    r.netHopMean = stats_.averageMean("net.hopsPerMsg");
+    r.netPeakLinkBusy = stats_.maxCounterValueWithPrefix("net.linkBusy.");
 
     for (const auto &node : nodes_) {
         if (node->thread)

@@ -26,7 +26,7 @@
 #include "kernel/thread_ctx.hh"
 #include "mem/addr.hh"
 #include "mem/memory_values.hh"
-#include "net/network.hh"
+#include "net/topo/interconnect.hh"
 #include "predictor/invalidation_predictor.hh"
 #include "proto/cache_controller.hh"
 #include "proto/dir_controller.hh"
@@ -60,6 +60,23 @@ struct RunResult
 
     // Predictor storage (Table 3), aggregated over all nodes.
     StorageStats storage;
+
+    // Interconnect observables (topology studies).
+    std::uint64_t netMsgs = 0;
+    double netLatencyMean = 0.0;
+    double netLatencyP50 = 0.0;
+    double netLatencyP99 = 0.0;
+    /** Latency samples beyond the histogram range (percentiles clamp). */
+    std::uint64_t netLatencyOverflow = 0;
+    double netHopMean = 0.0;       //!< 0 for the point-to-point model
+    std::uint64_t netPeakLinkBusy = 0; //!< busiest link's busy cycles
+
+    /** Peak per-link utilization in [0, 1] (0 without physical links). */
+    double
+    peakLinkUtilization() const
+    {
+        return cycles ? double(netPeakLinkBusy) / double(cycles) : 0.0;
+    }
 
     double
     fraction(std::uint64_t x) const
@@ -110,7 +127,7 @@ class DsmSystem
     const SystemParams &params() const { return params_; }
     StatGroup &stats() { return stats_; }
     EventQueue &eventQueue() { return eq_; }
-    Network &network() { return *net_; }
+    Interconnect &network() { return *net_; }
     DsmNode &node(NodeId n) { return *nodes_[n]; }
     MemoryValues &memory() { return mem_; }
     AddressSpace &addressSpace() { return *as_; }
@@ -125,7 +142,7 @@ class DsmSystem
     HomeMap homes_;
     MemoryValues mem_;
     std::unique_ptr<AddressSpace> as_;
-    std::unique_ptr<Network> net_;
+    std::unique_ptr<Interconnect> net_;
     std::unique_ptr<SyncDomain> sync_;
     std::vector<std::unique_ptr<DsmNode>> nodes_;
     unsigned finished_ = 0;

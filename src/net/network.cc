@@ -1,86 +1,16 @@
 #include "net/network.hh"
 
-#include <cassert>
-
 namespace ltp
 {
-
-Network::Network(EventQueue &eq, NodeId num_nodes, NetworkParams params,
-                 StatGroup &stats)
-    : eq_(eq),
-      params_(params),
-      niEgressFree_(num_nodes, 0),
-      ingressQueue_(num_nodes),
-      ingressBusy_(num_nodes, false),
-      niIngressFree_(num_nodes, 0),
-      sinks_(num_nodes),
-      msgsSent_(stats.counter("net.msgs")),
-      dataMsgs_(stats.counter("net.dataMsgs")),
-      endToEndLatency_(stats.average("net.endToEndLatency"))
-{
-}
-
-void
-Network::setSink(NodeId node, Sink sink)
-{
-    assert(node < sinks_.size());
-    sinks_[node] = std::move(sink);
-}
 
 void
 Network::send(Message msg)
 {
-    assert(msg.src < sinks_.size() && msg.dst < sinks_.size());
-    msg.injectedAt = eq_.now();
-    msgsSent_.inc();
-    if (carriesData(msg.type))
-        dataMsgs_.inc();
-
-    if (msg.src == msg.dst) {
-        // Local delivery: no NI serialization, a nominal 1-cycle hop.
-        eq_.scheduleIn(1, [this, msg] {
-            endToEndLatency_.sample(double(eq_.now() - msg.injectedAt));
-            sinks_[msg.dst](msg);
-        });
+    if (injectLocalOrCount(msg))
         return;
-    }
 
-    Tick occ = occupancy(msg);
-    Tick start = std::max(eq_.now(), niEgressFree_[msg.src]);
-    niEgressFree_[msg.src] = start + occ;
-    Tick arrive = start + occ + params_.flightLatency;
-    eq_.scheduleAt(arrive,
-                   [this, msg] { arriveAtIngress(msg); });
-}
-
-void
-Network::arriveAtIngress(Message msg)
-{
-    NodeId dst = msg.dst;
-    ingressQueue_[dst].push_back(msg);
-    if (!ingressBusy_[dst])
-        drainIngress(dst);
-}
-
-void
-Network::drainIngress(NodeId node)
-{
-    if (ingressQueue_[node].empty()) {
-        ingressBusy_[node] = false;
-        return;
-    }
-    ingressBusy_[node] = true;
-    Message msg = ingressQueue_[node].front();
-    ingressQueue_[node].pop_front();
-
-    Tick occ = occupancy(msg);
-    Tick start = std::max(eq_.now(), niIngressFree_[node]);
-    niIngressFree_[node] = start + occ;
-    eq_.scheduleAt(start + occ, [this, node, msg] {
-        endToEndLatency_.sample(double(eq_.now() - msg.injectedAt));
-        sinks_[node](msg);
-        drainIngress(node);
-    });
+    Tick arrive = egressDone(msg) + params_.flightLatency;
+    eq_.scheduleAt(arrive, [this, msg] { arriveAtIngress(msg); });
 }
 
 } // namespace ltp

@@ -2,7 +2,8 @@
  * @file
  * Point-to-point interconnect with constant flight latency and contention
  * modeled at the network interfaces (exactly the model in Table 1 /
- * Section 5 of the paper).
+ * Section 5 of the paper). This is the default Interconnect
+ * implementation; topology-aware models live in net/topo/.
  *
  * Each node owns an egress NI and an ingress NI. An NI is a FIFO server:
  * it occupies `controlOccupancy` or `dataOccupancy` cycles per message.
@@ -14,72 +15,30 @@
 #ifndef LTP_NET_NETWORK_HH
 #define LTP_NET_NETWORK_HH
 
-#include <deque>
-#include <functional>
-#include <vector>
-
-#include "net/message.hh"
-#include "sim/event_queue.hh"
-#include "sim/stats.hh"
-#include "sim/types.hh"
+#include "net/ni_interconnect.hh"
 
 namespace ltp
 {
 
-/** Timing knobs for the interconnect. */
-struct NetworkParams
-{
-    Tick flightLatency = 80;   //!< node-to-node wire latency (cycles)
-    Tick controlOccupancy = 4; //!< NI serialization of a header-only msg
-    Tick dataOccupancy = 12;   //!< NI serialization of a data-carrying msg
-};
-
 /**
- * The interconnect. Local (src == dst) messages bypass the network
- * entirely and are delivered after a single control-occupancy delay.
+ * The paper's interconnect. Local (src == dst) messages bypass the
+ * network entirely and are delivered after a single 1-cycle delay.
  */
-class Network
+class Network : public NiInterconnect
 {
   public:
-    using Sink = std::function<void(const Message &)>;
-
     Network(EventQueue &eq, NodeId num_nodes, NetworkParams params,
-            StatGroup &stats);
-
-    /** Register the message consumer for @p node. */
-    void setSink(NodeId node, Sink sink);
-
-    /** Inject @p msg; it will be delivered to msg.dst's sink later. */
-    void send(Message msg);
-
-    NodeId numNodes() const { return NodeId(niEgressFree_.size()); }
-    const NetworkParams &params() const { return params_; }
-
-  private:
-    Tick occupancy(const Message &m) const
+            StatGroup &stats)
+        : NiInterconnect(eq, num_nodes, params, stats)
     {
-        return carriesData(m.type) ? params_.dataOccupancy
-                                   : params_.controlOccupancy;
     }
 
-    /** A message sitting in (or headed for) an ingress NI. */
-    void arriveAtIngress(Message msg);
-    void drainIngress(NodeId node);
+    void send(Message msg) override;
 
-    EventQueue &eq_;
-    NetworkParams params_;
-    /** Earliest tick each egress NI is free. */
-    std::vector<Tick> niEgressFree_;
-    /** Per-ingress-NI FIFO of arrived-but-undelivered messages. */
-    std::vector<std::deque<Message>> ingressQueue_;
-    /** True while an ingress NI drain event is scheduled. */
-    std::vector<bool> ingressBusy_;
-    std::vector<Tick> niIngressFree_;
-    std::vector<Sink> sinks_;
-
-    Counter &msgsSent_;
-    Counter &dataMsgs_;
-    Average &endToEndLatency_;
+    TopologyKind topology() const override
+    {
+        return TopologyKind::PointToPoint;
+    }
 };
 
 } // namespace ltp

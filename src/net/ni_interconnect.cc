@@ -1,0 +1,93 @@
+#include "net/ni_interconnect.hh"
+
+#include <cassert>
+
+namespace ltp
+{
+
+NiInterconnect::NiInterconnect(EventQueue &eq, NodeId num_nodes,
+                               NetworkParams params, StatGroup &stats)
+    : eq_(eq),
+      params_(params),
+      msgsSent_(stats.counter("net.msgs")),
+      dataMsgs_(stats.counter("net.dataMsgs")),
+      endToEndLatency_(stats.average("net.endToEndLatency")),
+      latencyHist_(stats.histogram("net.endToEndLatency", 32.0, 256)),
+      niEgressFree_(num_nodes, 0),
+      ingressQueue_(num_nodes),
+      ingressBusy_(num_nodes, false),
+      sinks_(num_nodes)
+{
+}
+
+void
+NiInterconnect::setSink(NodeId node, Sink sink)
+{
+    assert(node < sinks_.size());
+    sinks_[node] = std::move(sink);
+}
+
+bool
+NiInterconnect::injectLocalOrCount(Message &msg)
+{
+    assert(msg.src < sinks_.size() && msg.dst < sinks_.size());
+    msg.injectedAt = eq_.now();
+    msgsSent_.inc();
+    if (carriesData(msg.type))
+        dataMsgs_.inc();
+
+    if (msg.src != msg.dst)
+        return false;
+    // Local delivery: no NI serialization, a nominal 1-cycle hop.
+    eq_.scheduleIn(1, [this, msg] { deliver(msg); });
+    return true;
+}
+
+Tick
+NiInterconnect::egressDone(const Message &msg)
+{
+    Tick occ = niOccupancy(msg);
+    Tick start = std::max(eq_.now(), niEgressFree_[msg.src]);
+    niEgressFree_[msg.src] = start + occ;
+    return start + occ;
+}
+
+void
+NiInterconnect::arriveAtIngress(Message msg)
+{
+    NodeId dst = msg.dst;
+    ingressQueue_[dst].push_back(msg);
+    if (!ingressBusy_[dst])
+        drainIngress(dst);
+}
+
+void
+NiInterconnect::drainIngress(NodeId node)
+{
+    if (ingressQueue_[node].empty()) {
+        ingressBusy_[node] = false;
+        return;
+    }
+    ingressBusy_[node] = true;
+    Message msg = ingressQueue_[node].front();
+    ingressQueue_[node].pop_front();
+
+    // The busy flag serializes the NI: this event runs at (or, when the
+    // NI went idle, after) the previous message's finish tick, so the
+    // next service always starts now.
+    eq_.scheduleIn(niOccupancy(msg), [this, node, msg] {
+        deliver(msg);
+        drainIngress(node);
+    });
+}
+
+void
+NiInterconnect::deliver(const Message &msg)
+{
+    Tick lat = eq_.now() - msg.injectedAt;
+    endToEndLatency_.sample(double(lat));
+    latencyHist_.sample(double(lat));
+    sinks_[msg.dst](msg);
+}
+
+} // namespace ltp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared network-interface machinery for Interconnect implementations:
+ * injection accounting, the local-delivery bypass, the egress/ingress
+ * NI FIFO servers, and end-to-end latency sampling (Average plus
+ * Histogram, both named `net.endToEndLatency`).
+ *
+ * Subclasses only model what happens between the egress NI and the
+ * ingress NI — a constant flight (Network) or a routed walk over FIFO
+ * links (RoutedNetwork) — which keeps the NI contention and latency
+ * accounting of all models identical by construction.
+ */
+
+#ifndef LTP_NET_NI_INTERCONNECT_HH
+#define LTP_NET_NI_INTERCONNECT_HH
+
+#include <deque>
+#include <vector>
+
+#include "net/message.hh"
+#include "net/topo/interconnect.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace ltp
+{
+
+/** Interconnect base handling everything at the network interfaces. */
+class NiInterconnect : public Interconnect
+{
+  public:
+    void setSink(NodeId node, Sink sink) override;
+    NodeId numNodes() const override { return NodeId(sinks_.size()); }
+    const NetworkParams &params() const override { return params_; }
+
+  protected:
+    NiInterconnect(EventQueue &eq, NodeId num_nodes, NetworkParams params,
+                   StatGroup &stats);
+
+    Tick niOccupancy(const Message &m) const
+    {
+        return carriesData(m.type) ? params_.dataOccupancy
+                                   : params_.controlOccupancy;
+    }
+
+    /**
+     * Stamp and count an injected message; when src == dst, schedule the
+     * 1-cycle local-delivery bypass and return true (nothing further for
+     * the subclass to do).
+     */
+    bool injectLocalOrCount(Message &msg);
+
+    /** Serialize @p msg through its egress NI; returns the clear tick. */
+    Tick egressDone(const Message &msg);
+
+    /** Hand @p msg (arriving from the subclass's fabric) to dst's NI. */
+    void arriveAtIngress(Message msg);
+
+    /** Sample latency stats and hand @p msg to its sink. */
+    virtual void deliver(const Message &msg);
+
+    EventQueue &eq_;
+    NetworkParams params_;
+
+    Counter &msgsSent_;
+    Counter &dataMsgs_;
+    Average &endToEndLatency_;
+    Histogram &latencyHist_;
+
+  private:
+    void drainIngress(NodeId node);
+
+    /** Earliest tick each egress NI is free. */
+    std::vector<Tick> niEgressFree_;
+    /** Per-ingress-NI FIFO of arrived-but-undelivered messages. */
+    std::vector<std::deque<Message>> ingressQueue_;
+    /** True while an ingress NI drain event is scheduled. */
+    std::vector<bool> ingressBusy_;
+    std::vector<Sink> sinks_;
+};
+
+} // namespace ltp
+
+#endif // LTP_NET_NI_INTERCONNECT_HH

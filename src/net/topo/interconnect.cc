@@ -1,0 +1,18 @@
+#include "net/topo/interconnect.hh"
+
+#include "net/network.hh"
+#include "net/topo/routed_network.hh"
+
+namespace ltp
+{
+
+std::unique_ptr<Interconnect>
+makeInterconnect(EventQueue &eq, NodeId num_nodes, NetworkParams params,
+                 StatGroup &stats)
+{
+    if (params.topology == TopologyKind::PointToPoint)
+        return std::make_unique<Network>(eq, num_nodes, params, stats);
+    return std::make_unique<RoutedNetwork>(eq, num_nodes, params, stats);
+}
+
+} // namespace ltp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The abstract interconnect every DSM component talks to, plus the
+ * timing/topology knobs shared by all implementations.
+ *
+ * Implementations:
+ *  - Network (net/network.hh): the paper's point-to-point model —
+ *    constant flight latency, contention only at the network interfaces.
+ *    This is the default; it keeps every figure benchmark bit-identical.
+ *  - RoutedNetwork (net/topo/routed_network.hh): topology-aware
+ *    mesh/torus/ring where every router/link is a FIFO server, so
+ *    latency depends on hop count and congestion.
+ *
+ * Every implementation preserves the pairwise (src, dst) FIFO delivery
+ * invariant the coherence protocol relies on.
+ */
+
+#ifndef LTP_NET_TOPO_INTERCONNECT_HH
+#define LTP_NET_TOPO_INTERCONNECT_HH
+
+#include <functional>
+#include <memory>
+
+#include "net/message.hh"
+#include "net/topo/topology.hh"
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+class EventQueue;
+class StatGroup;
+
+/** Timing and topology knobs for the interconnect. */
+struct NetworkParams
+{
+    Tick flightLatency = 80;   //!< node-to-node wire latency (p2p only)
+    Tick controlOccupancy = 4; //!< NI serialization of a header-only msg
+    Tick dataOccupancy = 12;   //!< NI serialization of a data-carrying msg
+
+    // Topology-aware knobs (ignored by the point-to-point model).
+    TopologyKind topology = TopologyKind::PointToPoint;
+    unsigned meshWidth = 0;  //!< X extent of mesh/torus; 0 = most-square
+    Tick hopLatency = 10;    //!< per-hop wire flight (cycles)
+    Tick routerLatency = 4;  //!< per-hop routing/pipeline delay (cycles)
+    Tick linkControlOccupancy = 4; //!< link serialization, header-only msg
+    Tick linkDataOccupancy = 12;   //!< link serialization, data msg
+};
+
+/**
+ * Abstract message transport between DSM nodes.
+ *
+ * Contract (all implementations):
+ *  - send() never delivers synchronously; the sink runs in a later event.
+ *  - Local (src == dst) messages bypass the network and arrive after a
+ *    nominal 1-cycle delay.
+ *  - Messages of one (src, dst) pair are delivered in send order.
+ */
+class Interconnect
+{
+  public:
+    using Sink = std::function<void(const Message &)>;
+
+    virtual ~Interconnect() = default;
+
+    /** Register the message consumer for @p node. */
+    virtual void setSink(NodeId node, Sink sink) = 0;
+
+    /** Inject @p msg; it will be delivered to msg.dst's sink later. */
+    virtual void send(Message msg) = 0;
+
+    virtual NodeId numNodes() const = 0;
+    virtual TopologyKind topology() const = 0;
+    virtual const NetworkParams &params() const = 0;
+};
+
+/** Build the interconnect selected by @p params.topology. */
+std::unique_ptr<Interconnect> makeInterconnect(EventQueue &eq,
+                                               NodeId num_nodes,
+                                               NetworkParams params,
+                                               StatGroup &stats);
+
+} // namespace ltp
+
+#endif // LTP_NET_TOPO_INTERCONNECT_HH

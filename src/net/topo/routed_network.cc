@@ -1,0 +1,113 @@
+#include "net/topo/routed_network.hh"
+
+#include <cassert>
+#include <string>
+
+namespace ltp
+{
+
+namespace
+{
+
+std::string
+linkStatName(const char *what, NodeId from, NodeId to)
+{
+    return std::string("net.") + what + "." + std::to_string(from) + "-" +
+           std::to_string(to);
+}
+
+} // namespace
+
+RoutedNetwork::RoutedNetwork(EventQueue &eq, NodeId num_nodes,
+                             NetworkParams params, StatGroup &stats)
+    : NiInterconnect(eq, num_nodes, params, stats),
+      geom_(params.topology, num_nodes, params.meshWidth),
+      linkIdx_(std::size_t(num_nodes) * num_nodes, -1),
+      hops_(stats.counter("net.hops")),
+      hopsPerMsg_(stats.average("net.hopsPerMsg"))
+{
+    assert(params_.topology != TopologyKind::PointToPoint &&
+           "use Network for the point-to-point model");
+    for (NodeId from = 0; from < num_nodes; ++from) {
+        for (NodeId to : geom_.neighbors(from)) {
+            linkIdx_[std::size_t(from) * num_nodes + to] =
+                int(links_.size());
+            Link link;
+            link.from = from;
+            link.to = to;
+            link.msgs = &stats.counter(linkStatName("linkMsgs", from, to));
+            link.busyCycles =
+                &stats.counter(linkStatName("linkBusy", from, to));
+            links_.push_back(std::move(link));
+        }
+    }
+}
+
+int
+RoutedNetwork::linkIndex(NodeId from, NodeId to) const
+{
+    return linkIdx_[std::size_t(from) * numNodes() + to];
+}
+
+void
+RoutedNetwork::send(Message msg)
+{
+    if (injectLocalOrCount(msg))
+        return;
+
+    eq_.scheduleAt(egressDone(msg), [this, msg] { forward(msg.src, msg); });
+}
+
+void
+RoutedNetwork::forward(NodeId at, Message msg)
+{
+    NodeId next = geom_.nextHop(at, msg.dst);
+    int l = linkIndex(at, next);
+    assert(l >= 0 && "route must follow physical links");
+    links_[std::size_t(l)].q.push_back(msg);
+    if (!links_[std::size_t(l)].busy)
+        drainLink(std::size_t(l));
+}
+
+void
+RoutedNetwork::drainLink(std::size_t l)
+{
+    Link &link = links_[l];
+    if (link.q.empty()) {
+        link.busy = false;
+        return;
+    }
+    link.busy = true;
+    Message msg = link.q.front();
+    link.q.pop_front();
+
+    // Serialize on the link, then fly one hop and clear the next router's
+    // pipeline. Departures from a FIFO link are in queue order, and the
+    // downstream delay is constant, so per-link FIFO order is preserved
+    // end to end along the (deterministic) route.
+    Tick occ = linkOccupancy(msg);
+    link.msgs->inc();
+    link.busyCycles->inc(occ);
+    hops_.inc();
+
+    Tick done = eq_.now() + occ;
+    eq_.scheduleAt(done, [this, l] { drainLink(l); });
+
+    Tick arrive = done + params_.hopLatency + params_.routerLatency;
+    NodeId to = link.to;
+    eq_.scheduleAt(arrive, [this, to, msg] {
+        if (to == msg.dst)
+            arriveAtIngress(msg);
+        else
+            forward(to, msg);
+    });
+}
+
+void
+RoutedNetwork::deliver(const Message &msg)
+{
+    hopsPerMsg_.sample(double(geom_.hopCount(msg.src, msg.dst)));
+    NiInterconnect::deliver(msg);
+}
+
+} // namespace ltp

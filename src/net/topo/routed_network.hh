@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Topology-aware interconnect: mesh / torus / ring with per-link
+ * contention.
+ *
+ * A message's life:
+ *
+ *   egress NI (FIFO, controlOccupancy/dataOccupancy)
+ *     -> [ link (FIFO, linkControlOccupancy/linkDataOccupancy)
+ *          -> wire (hopLatency) -> router (routerLatency) ] x hops
+ *     -> ingress NI (FIFO, controlOccupancy/dataOccupancy) -> sink
+ *
+ * Each directed link is a FIFO server: one message serializes at a time
+ * and waiters queue, so latency grows with both hop count and congestion.
+ * Routing is deterministic (dimension-order / shortest ring direction,
+ * see TopologyGeometry), which — together with FIFO links — preserves
+ * the pairwise (src, dst) delivery-order invariant.
+ *
+ * Per-link utilization is exported as `net.linkBusy.<from>-<to>` (busy
+ * cycles) and `net.linkMsgs.<from>-<to>`; the NI model and latency
+ * statistics are shared with the point-to-point network (see
+ * net/ni_interconnect.hh).
+ */
+
+#ifndef LTP_NET_TOPO_ROUTED_NETWORK_HH
+#define LTP_NET_TOPO_ROUTED_NETWORK_HH
+
+#include <deque>
+#include <vector>
+
+#include "net/ni_interconnect.hh"
+#include "net/topo/topology.hh"
+
+namespace ltp
+{
+
+/** Mesh/torus/ring interconnect with FIFO routers and links. */
+class RoutedNetwork : public NiInterconnect
+{
+  public:
+    RoutedNetwork(EventQueue &eq, NodeId num_nodes, NetworkParams params,
+                  StatGroup &stats);
+
+    void send(Message msg) override;
+
+    TopologyKind topology() const override { return params_.topology; }
+
+    const TopologyGeometry &geometry() const { return geom_; }
+    std::size_t numLinks() const { return links_.size(); }
+
+  private:
+    /** One directed physical channel between adjacent routers. */
+    struct Link
+    {
+        NodeId from = invalidNode;
+        NodeId to = invalidNode;
+        std::deque<Message> q;
+        bool busy = false;
+        Counter *msgs = nullptr;
+        Counter *busyCycles = nullptr;
+    };
+
+    Tick linkOccupancy(const Message &m) const
+    {
+        return carriesData(m.type) ? params_.linkDataOccupancy
+                                   : params_.linkControlOccupancy;
+    }
+
+    int linkIndex(NodeId from, NodeId to) const;
+
+    /** Route @p msg (now at router @p at) onto its next link. */
+    void forward(NodeId at, Message msg);
+    void drainLink(std::size_t l);
+
+    /** Adds the route-length sample to the shared delivery stats. */
+    void deliver(const Message &msg) override;
+
+    TopologyGeometry geom_;
+
+    std::vector<Link> links_;
+    /** Dense (from * n + to) -> link index map; -1 when not adjacent. */
+    std::vector<int> linkIdx_;
+
+    Counter &hops_;
+    Average &hopsPerMsg_;
+};
+
+} // namespace ltp
+
+#endif // LTP_NET_TOPO_ROUTED_NETWORK_HH

@@ -1,0 +1,189 @@
+#include "net/topo/topology.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+
+namespace ltp
+{
+
+const char *
+topologyKindName(TopologyKind k)
+{
+    switch (k) {
+      case TopologyKind::PointToPoint: return "p2p";
+      case TopologyKind::Mesh2D: return "mesh";
+      case TopologyKind::Torus2D: return "torus";
+      case TopologyKind::Ring: return "ring";
+    }
+    return "?";
+}
+
+std::optional<TopologyKind>
+parseTopologyKind(const std::string &name)
+{
+    std::string s;
+    for (char c : name)
+        s += char(std::tolower(static_cast<unsigned char>(c)));
+    if (s == "p2p" || s == "pointtopoint" || s == "point-to-point" ||
+        s == "crossbar")
+        return TopologyKind::PointToPoint;
+    if (s == "mesh" || s == "mesh2d")
+        return TopologyKind::Mesh2D;
+    if (s == "torus" || s == "torus2d")
+        return TopologyKind::Torus2D;
+    if (s == "ring")
+        return TopologyKind::Ring;
+    return std::nullopt;
+}
+
+const std::vector<TopologyKind> &
+allTopologyKinds()
+{
+    static const std::vector<TopologyKind> kinds = {
+        TopologyKind::PointToPoint,
+        TopologyKind::Mesh2D,
+        TopologyKind::Torus2D,
+        TopologyKind::Ring,
+    };
+    return kinds;
+}
+
+TopologyGeometry::TopologyGeometry(TopologyKind kind, NodeId num_nodes,
+                                   unsigned mesh_width)
+    : kind_(kind), n_(num_nodes)
+{
+    assert(n_ > 0);
+    switch (kind_) {
+      case TopologyKind::PointToPoint:
+        width_ = n_;
+        height_ = 1;
+        break;
+      case TopologyKind::Ring:
+        width_ = n_;
+        height_ = 1;
+        break;
+      case TopologyKind::Mesh2D:
+      case TopologyKind::Torus2D:
+        if (mesh_width >= 1 && mesh_width <= n_ && n_ % mesh_width == 0) {
+            width_ = mesh_width;
+        } else {
+            // Most-square factorization: largest divisor <= sqrt(n).
+            unsigned w = 1;
+            for (unsigned c = 1; c * c <= n_; ++c)
+                if (n_ % c == 0)
+                    w = c;
+            width_ = w;
+        }
+        height_ = n_ / width_;
+        break;
+    }
+}
+
+Coord
+TopologyGeometry::coordOf(NodeId node) const
+{
+    assert(node < n_);
+    return Coord{unsigned(node) % width_, unsigned(node) / width_};
+}
+
+NodeId
+TopologyGeometry::idOf(Coord c) const
+{
+    assert(c.x < width_ && c.y < height_);
+    return NodeId(c.y * width_ + c.x);
+}
+
+unsigned
+TopologyGeometry::axisDistance(unsigned from, unsigned to,
+                               unsigned extent) const
+{
+    unsigned d = from > to ? from - to : to - from;
+    if (wraps())
+        d = std::min(d, extent - d);
+    return d;
+}
+
+unsigned
+TopologyGeometry::axisStep(unsigned from, unsigned to, unsigned extent) const
+{
+    assert(from != to);
+    if (!wraps())
+        return from < to ? from + 1 : from - 1;
+    // Shorter wrap direction; tie broken toward increasing coordinate.
+    unsigned fwd = (to + extent - from) % extent;
+    unsigned bwd = extent - fwd;
+    if (fwd <= bwd)
+        return (from + 1) % extent;
+    return (from + extent - 1) % extent;
+}
+
+NodeId
+TopologyGeometry::nextHop(NodeId cur, NodeId dst) const
+{
+    assert(cur != dst && cur < n_ && dst < n_);
+    if (kind_ == TopologyKind::PointToPoint)
+        return dst;
+
+    Coord c = coordOf(cur);
+    Coord d = coordOf(dst);
+    // Dimension-order: resolve X fully, then Y. A ring is the X-only case.
+    if (c.x != d.x)
+        return idOf(Coord{axisStep(c.x, d.x, width_), c.y});
+    return idOf(Coord{c.x, axisStep(c.y, d.y, height_)});
+}
+
+unsigned
+TopologyGeometry::hopCount(NodeId src, NodeId dst) const
+{
+    assert(src < n_ && dst < n_);
+    if (src == dst)
+        return 0;
+    if (kind_ == TopologyKind::PointToPoint)
+        return 1;
+    Coord s = coordOf(src);
+    Coord d = coordOf(dst);
+    return axisDistance(s.x, d.x, width_) + axisDistance(s.y, d.y, height_);
+}
+
+std::vector<NodeId>
+TopologyGeometry::neighbors(NodeId node) const
+{
+    assert(node < n_);
+    std::vector<NodeId> out;
+    if (kind_ == TopologyKind::PointToPoint) {
+        for (NodeId o = 0; o < n_; ++o)
+            if (o != node)
+                out.push_back(o);
+        return out;
+    }
+
+    Coord c = coordOf(node);
+    auto add = [&](Coord nc) {
+        NodeId id = idOf(nc);
+        if (id != node && std::find(out.begin(), out.end(), id) == out.end())
+            out.push_back(id);
+    };
+    if (wraps()) {
+        if (width_ > 1) {
+            add(Coord{(c.x + 1) % width_, c.y});
+            add(Coord{(c.x + width_ - 1) % width_, c.y});
+        }
+        if (height_ > 1) {
+            add(Coord{c.x, (c.y + 1) % height_});
+            add(Coord{c.x, (c.y + height_ - 1) % height_});
+        }
+    } else {
+        if (c.x + 1 < width_)
+            add(Coord{c.x + 1, c.y});
+        if (c.x > 0)
+            add(Coord{c.x - 1, c.y});
+        if (c.y + 1 < height_)
+            add(Coord{c.x, c.y + 1});
+        if (c.y > 0)
+            add(Coord{c.x, c.y - 1});
+    }
+    return out;
+}
+
+} // namespace ltp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Interconnect topology descriptions and deterministic routing.
+ *
+ * TopologyGeometry maps node ids onto a topology (point-to-point crossbar,
+ * 2D mesh, 2D torus, or ring), enumerates physical links, and computes
+ * the deterministic route a message follows:
+ *
+ *  - Mesh2D:  dimension-order (X then Y) routing.
+ *  - Torus2D: dimension-order routing, taking the shorter wrap direction
+ *             per dimension (ties broken toward increasing coordinate).
+ *  - Ring:    shorter direction around the ring (tie toward increasing).
+ *  - PointToPoint: every pair is directly connected (the paper's model).
+ *
+ * Deterministic single-path routing is what lets the routed interconnect
+ * preserve the pairwise (src, dst) FIFO delivery order the coherence
+ * protocol relies on: messages of a pair traverse the same sequence of
+ * FIFO links, so they can never overtake each other.
+ */
+
+#ifndef LTP_NET_TOPO_TOPOLOGY_HH
+#define LTP_NET_TOPO_TOPOLOGY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+/** Which physical interconnect a system instantiates. */
+enum class TopologyKind
+{
+    PointToPoint, //!< constant-latency crossbar (paper Table 1; default)
+    Mesh2D,       //!< 2D mesh, dimension-order routed
+    Torus2D,      //!< 2D torus, dimension-order routed with wrap links
+    Ring,         //!< bidirectional ring, shortest-direction routed
+};
+
+/** Short stable name ("mesh", "torus", ...) for banners and CLIs. */
+const char *topologyKindName(TopologyKind k);
+
+/** Parse a CLI spelling ("p2p", "mesh", "torus2d", ...). */
+std::optional<TopologyKind> parseTopologyKind(const std::string &name);
+
+/** All kinds, in declaration order (sweep helpers). */
+const std::vector<TopologyKind> &allTopologyKinds();
+
+/** Position of a node in the 2D layout (rings have y == 0). */
+struct Coord
+{
+    unsigned x = 0;
+    unsigned y = 0;
+
+    bool operator==(const Coord &o) const { return x == o.x && y == o.y; }
+};
+
+/**
+ * The static shape of one interconnect instance: node placement,
+ * neighbor links, hop counts, and next-hop routing decisions.
+ */
+class TopologyGeometry
+{
+  public:
+    /**
+     * Lay @p num_nodes out on topology @p kind.
+     *
+     * For Mesh2D/Torus2D, @p mesh_width fixes the X dimension when it
+     * divides the node count; when 0 (or non-dividing) the most-square
+     * factorization is chosen (e.g. 32 nodes -> 4 x 8).
+     */
+    TopologyGeometry(TopologyKind kind, NodeId num_nodes,
+                     unsigned mesh_width = 0);
+
+    TopologyKind kind() const { return kind_; }
+    NodeId numNodes() const { return n_; }
+    unsigned width() const { return width_; }
+    unsigned height() const { return height_; }
+
+    Coord coordOf(NodeId node) const;
+    NodeId idOf(Coord c) const;
+
+    /**
+     * The next node on the deterministic route from @p cur to @p dst.
+     * @pre cur != dst.
+     */
+    NodeId nextHop(NodeId cur, NodeId dst) const;
+
+    /** Number of links the route from @p src to @p dst crosses. */
+    unsigned hopCount(NodeId src, NodeId dst) const;
+
+    /** Direct neighbors of @p node (each shared link appears once). */
+    std::vector<NodeId> neighbors(NodeId node) const;
+
+    /** True when wrap-around links exist (torus, ring). */
+    bool wraps() const
+    {
+        return kind_ == TopologyKind::Torus2D || kind_ == TopologyKind::Ring;
+    }
+
+  private:
+    /** Distance along one dimension of extent @p extent. */
+    unsigned axisDistance(unsigned from, unsigned to, unsigned extent) const;
+    /** Step (+1/-1, with wrap) along one dimension toward @p to. */
+    unsigned axisStep(unsigned from, unsigned to, unsigned extent) const;
+
+    TopologyKind kind_;
+    NodeId n_;
+    unsigned width_ = 1;
+    unsigned height_ = 1;
+};
+
+} // namespace ltp
+
+#endif // LTP_NET_TOPO_TOPOLOGY_HH

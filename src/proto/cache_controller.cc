@@ -13,9 +13,9 @@ namespace
 constexpr std::uint64_t noVersion = ~std::uint64_t(0);
 } // namespace
 
-CacheController::CacheController(NodeId node, EventQueue &eq, Network &net,
-                                 const HomeMap &homes, CacheParams params,
-                                 StatGroup &stats)
+CacheController::CacheController(NodeId node, EventQueue &eq,
+                                 Interconnect &net, const HomeMap &homes,
+                                 CacheParams params, StatGroup &stats)
     : node_(node),
       eq_(eq),
       net_(net),

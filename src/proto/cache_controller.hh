@@ -28,7 +28,7 @@
 #include "mem/addr.hh"
 #include "mem/cache.hh"
 #include "net/message.hh"
-#include "net/network.hh"
+#include "net/topo/interconnect.hh"
 #include "predictor/invalidation_predictor.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -68,7 +68,7 @@ class CacheController : public SelfInvalidationPort
     /** Completion callback: (latency, was_miss). */
     using AccessDone = std::function<void(Tick, bool)>;
 
-    CacheController(NodeId node, EventQueue &eq, Network &net,
+    CacheController(NodeId node, EventQueue &eq, Interconnect &net,
                     const HomeMap &homes, CacheParams params,
                     StatGroup &stats);
 
@@ -135,7 +135,7 @@ class CacheController : public SelfInvalidationPort
 
     NodeId node_;
     EventQueue &eq_;
-    Network &net_;
+    Interconnect &net_;
     const HomeMap &homes_;
     CacheParams params_;
     Cache cache_;

@@ -32,7 +32,7 @@ dirStateName(DirState s)
     return "?";
 }
 
-DirController::DirController(NodeId node, EventQueue &eq, Network &net,
+DirController::DirController(NodeId node, EventQueue &eq, Interconnect &net,
                              DirParams params, StatGroup &stats)
     : node_(node),
       eq_(eq),

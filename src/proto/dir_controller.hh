@@ -23,7 +23,7 @@
 #include <unordered_map>
 
 #include "net/message.hh"
-#include "net/network.hh"
+#include "net/topo/interconnect.hh"
 #include "proto/directory.hh"
 #include "proto/sharing_predictor.hh"
 #include "sim/event_queue.hh"
@@ -54,7 +54,7 @@ struct DirParams
 /**
  * One directory controller, owned by its home node.
  *
- * Outgoing messages go through the Network; verification outcomes for
+ * Outgoing messages go through the Interconnect; verification outcomes for
  * self-invalidations are reported through a hook so that the requesting
  * node's predictor can be trained (hardware would piggyback these bits
  * on subsequent messages; see DESIGN.md).
@@ -65,7 +65,7 @@ class DirController
     /** (node, blk, premature, timely) — verification outcome for node. */
     using VerifyHook = std::function<void(NodeId, Addr, bool, bool)>;
 
-    DirController(NodeId node, EventQueue &eq, Network &net,
+    DirController(NodeId node, EventQueue &eq, Interconnect &net,
                   DirParams params, StatGroup &stats);
 
     /** Deliver an inbound protocol message (network sink). */
@@ -137,7 +137,7 @@ class DirController
 
     NodeId node_;
     EventQueue &eq_;
-    Network &net_;
+    Interconnect &net_;
     DirParams params_;
 
     Directory dir_;

@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 namespace ltp
@@ -46,6 +47,33 @@ Histogram::sample(double v)
         ++buckets_[idx];
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    // Nearest-rank: the smallest bucket whose cumulative count covers
+    // sample ceil(p * N), clamped to [1, N].
+    auto target = static_cast<std::uint64_t>(std::ceil(p * double(total_)));
+    target = std::max<std::uint64_t>(1, std::min(target, total_));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cum += buckets_[i];
+        if (cum >= target)
+            return width_ * double(i + 1);
+    }
+    return width_ * double(buckets_.size());
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+    sum_ = 0.0;
+}
+
 Counter &
 StatGroup::counter(const std::string &name)
 {
@@ -56,6 +84,21 @@ Average &
 StatGroup::average(const std::string &name)
 {
     return averages_[name];
+}
+
+Histogram &
+StatGroup::histogram(const std::string &name, double bucket_width,
+                     std::size_t n_buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(name),
+                          std::forward_as_tuple(bucket_width, n_buckets))
+                 .first;
+    }
+    return it->second;
 }
 
 std::uint64_t
@@ -84,6 +127,43 @@ StatGroup::hasAverage(const std::string &name) const
     return averages_.count(name) != 0;
 }
 
+const Histogram *
+StatGroup::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+bool
+StatGroup::hasHistogram(const std::string &name) const
+{
+    return histograms_.count(name) != 0;
+}
+
+std::uint64_t
+StatGroup::maxCounterValueWithPrefix(const std::string &prefix) const
+{
+    std::uint64_t best = 0;
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() && it->first.compare(0, prefix.size(),
+                                                    prefix) == 0;
+         ++it)
+        best = std::max(best, it->second.value());
+    return best;
+}
+
+std::uint64_t
+StatGroup::sumCountersWithPrefix(const std::string &prefix) const
+{
+    std::uint64_t sum = 0;
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() && it->first.compare(0, prefix.size(),
+                                                    prefix) == 0;
+         ++it)
+        sum += it->second.value();
+    return sum;
+}
+
 void
 StatGroup::dump(std::ostream &os) const
 {
@@ -94,6 +174,12 @@ StatGroup::dump(std::ostream &os) const
            << a.mean() << " count=" << a.count() << " min=" << a.min()
            << " max=" << a.max() << "\n";
     }
+    for (const auto &[name, h] : histograms_) {
+        os << name << " hist mean=" << std::fixed << std::setprecision(2)
+           << h.mean() << " count=" << h.totalSamples()
+           << " p50=" << h.percentile(0.5) << " p99=" << h.percentile(0.99)
+           << " overflow=" << h.overflow() << "\n";
+    }
 }
 
 void
@@ -103,6 +189,8 @@ StatGroup::resetAll()
         c.reset();
     for (auto &[name, a] : averages_)
         a.reset();
+    for (auto &[name, h] : histograms_)
+        h.reset();
 }
 
 } // namespace ltp

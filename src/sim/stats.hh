@@ -74,6 +74,15 @@ class Histogram
     std::uint64_t totalSamples() const { return total_; }
     double mean() const { return total_ ? sum_ / double(total_) : 0.0; }
 
+    /**
+     * Value below which fraction @p p of the samples fall (upper edge of
+     * the covering bucket; overflow samples report the histogram range).
+     * @pre 0.0 <= p <= 1.0. Returns 0.0 when empty.
+     */
+    double percentile(double p) const;
+
+    void reset();
+
   private:
     double width_;
     std::vector<std::uint64_t> buckets_;
@@ -94,13 +103,28 @@ class StatGroup
     Counter &counter(const std::string &name);
     Average &average(const std::string &name);
 
+    /**
+     * Register (or look up) a histogram. The shape arguments only apply
+     * on first registration; later calls return the existing histogram.
+     */
+    Histogram &histogram(const std::string &name, double bucket_width = 16.0,
+                         std::size_t n_buckets = 128);
+
     /** Look up an existing counter; creates a zero one if absent. */
     std::uint64_t counterValue(const std::string &name) const;
     /** Look up an existing average's mean (0.0 if absent). */
     double averageMean(const std::string &name) const;
+    /** Look up an existing histogram (nullptr if absent). */
+    const Histogram *findHistogram(const std::string &name) const;
 
     bool hasCounter(const std::string &name) const;
     bool hasAverage(const std::string &name) const;
+    bool hasHistogram(const std::string &name) const;
+
+    /** Largest value among counters whose name starts with @p prefix. */
+    std::uint64_t maxCounterValueWithPrefix(const std::string &prefix) const;
+    /** Sum of all counters whose name starts with @p prefix. */
+    std::uint64_t sumCountersWithPrefix(const std::string &prefix) const;
 
     /** Dump every statistic, sorted by name, one per line. */
     void dump(std::ostream &os) const;
@@ -111,6 +135,7 @@ class StatGroup
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace ltp

@@ -85,6 +85,57 @@ TEST(Histogram, MeanOverAllSamples)
     EXPECT_DOUBLE_EQ(h.mean(), 2.0);
 }
 
+TEST(Histogram, PercentileWalksBuckets)
+{
+    Histogram h(10.0, 10); // [0,100)
+    for (int i = 0; i < 50; ++i)
+        h.sample(5); // bucket 0
+    for (int i = 0; i < 49; ++i)
+        h.sample(55); // bucket 5
+    h.sample(95); // bucket 9
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 60.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(Histogram, PercentileUsesCeilAtRankBoundaries)
+{
+    // 98 samples in bucket 0, 2 in bucket 9: the 99th sample (nearest
+    // rank for p99) lives in bucket 9, not bucket 0.
+    Histogram h(10.0, 10);
+    for (int i = 0; i < 98; ++i)
+        h.sample(5);
+    h.sample(95);
+    h.sample(95);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.98), 10.0);
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero)
+{
+    Histogram h(1.0, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, PercentileOverflowReportsRange)
+{
+    Histogram h(10.0, 4); // [0,40)
+    h.sample(1000);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 40.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(10.0, 4);
+    h.sample(5);
+    h.sample(500);
+    h.reset();
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.bucket(0), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
 TEST(StatGroup, CounterIsPersistentByName)
 {
     StatGroup g;
@@ -125,9 +176,55 @@ TEST(StatGroup, ResetAllZeroesEverything)
     StatGroup g;
     g.counter("x").inc(5);
     g.average("y").sample(2);
+    g.histogram("z", 1.0, 4).sample(2);
     g.resetAll();
     EXPECT_EQ(g.counterValue("x"), 0u);
     EXPECT_EQ(g.average("y").count(), 0u);
+    EXPECT_EQ(g.histogram("z").totalSamples(), 0u);
+}
+
+TEST(StatGroup, HistogramIsPersistentByName)
+{
+    StatGroup g;
+    g.histogram("net.lat", 10.0, 8).sample(15);
+    // Shape arguments on later lookups are ignored.
+    Histogram &h = g.histogram("net.lat", 999.0, 1);
+    EXPECT_EQ(h.numBuckets(), 8u);
+    EXPECT_DOUBLE_EQ(h.bucketWidth(), 10.0);
+    EXPECT_EQ(h.totalSamples(), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+}
+
+TEST(StatGroup, FindHistogram)
+{
+    StatGroup g;
+    EXPECT_EQ(g.findHistogram("missing"), nullptr);
+    EXPECT_FALSE(g.hasHistogram("missing"));
+    g.histogram("h", 1.0, 2).sample(0.5);
+    ASSERT_NE(g.findHistogram("h"), nullptr);
+    EXPECT_TRUE(g.hasHistogram("h"));
+    EXPECT_EQ(g.findHistogram("h")->totalSamples(), 1u);
+}
+
+TEST(StatGroup, DumpContainsHistograms)
+{
+    StatGroup g;
+    g.histogram("lat", 10.0, 4).sample(5);
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("lat hist"), std::string::npos);
+    EXPECT_NE(oss.str().find("count=1"), std::string::npos);
+}
+
+TEST(StatGroup, CounterPrefixQueries)
+{
+    StatGroup g;
+    g.counter("net.linkBusy.0-1").inc(10);
+    g.counter("net.linkBusy.1-2").inc(25);
+    g.counter("net.linkMsgs.1-2").inc(1000);
+    EXPECT_EQ(g.maxCounterValueWithPrefix("net.linkBusy."), 25u);
+    EXPECT_EQ(g.sumCountersWithPrefix("net.linkBusy."), 35u);
+    EXPECT_EQ(g.maxCounterValueWithPrefix("nope."), 0u);
 }
 
 } // namespace
