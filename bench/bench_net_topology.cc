@@ -9,8 +9,12 @@
  *
  *   $ ./bench_net_topology [kernel...]      (default: tomcatv em3d)
  *
- * Columns: total cycles, messages, end-to-end latency (mean / p50 / p99),
- * mean route length, and the busiest physical link's utilization.
+ * Two tables per kernel:
+ *  - base protocol: total cycles, messages, end-to-end latency
+ *    (mean / p50 / p99), mean route length, busiest link utilization;
+ *  - Active per-block LTP: speedup over the same-topology base run plus
+ *    the Table 4 self-invalidation verdicts (timely / late / premature),
+ *    showing how congestion-dependent latency erodes timeliness.
  */
 
 #include <cstdio>
@@ -24,25 +28,37 @@ using namespace ltp;
 namespace
 {
 
+RunResult
+runCell(const std::string &kernel, NodeId nodes, TopologyKind topo,
+        PredictorKind pred, PredictorMode mode)
+{
+    ExperimentSpec spec;
+    spec.kernel = kernel;
+    spec.predictor = pred;
+    spec.mode = mode;
+    spec.nodes = nodes;
+    spec.topology = topo;
+    return runExperiment(spec);
+}
+
 void
 sweepKernel(const std::string &kernel)
 {
     static const NodeId node_counts[] = {16, 32, 64};
 
-    std::printf("\n== %s ==\n", kernel.c_str());
+    std::printf("\n== %s (base protocol) ==\n", kernel.c_str());
     std::printf("%5s %-6s | %12s %10s | %8s %6s %6s | %6s %8s\n", "nodes",
                 "topo", "cycles", "msgs", "latMean", "p50", "p99", "hops",
                 "maxLink%");
 
+    // Base cycles per (nodes, topo) — the Active table's speedup divisor.
+    std::vector<Tick> baseCycles;
+
     for (NodeId nodes : node_counts) {
         for (TopologyKind topo : allTopologyKinds()) {
-            ExperimentSpec spec;
-            spec.kernel = kernel;
-            spec.predictor = PredictorKind::Base;
-            spec.mode = PredictorMode::Off;
-            spec.nodes = nodes;
-            spec.topology = topo;
-            RunResult r = runExperiment(spec);
+            RunResult r = runCell(kernel, nodes, topo, PredictorKind::Base,
+                                  PredictorMode::Off);
+            baseCycles.push_back(r.cycles);
 
             std::printf("%5u %-6s | %12llu %10llu | %8.1f %6.0f %6.0f | "
                         "%6.2f %8.1f\n",
@@ -56,6 +72,42 @@ sweepKernel(const std::string &kernel)
                             "p50/p99 clamped\n",
                             (unsigned long long)r.netLatencyOverflow);
             }
+            if (!r.completed)
+                std::printf("      ^ did not complete before maxTicks\n");
+        }
+    }
+
+    // Self-invalidation timeliness under congestion-dependent latency
+    // (ROADMAP / Table 4): the Active per-block LTP on every topology.
+    std::printf("\n== %s (ltp active) ==\n", kernel.c_str());
+    std::printf("%5s %-6s | %12s %7s | %8s %7s %7s %7s | %8s\n", "nodes",
+                "topo", "cycles", "speedup", "selfInvs", "timely%",
+                "late%", "premat%", "maxLink%");
+
+    std::size_t cell = 0;
+    for (NodeId nodes : node_counts) {
+        for (TopologyKind topo : allTopologyKinds()) {
+            RunResult r = runCell(kernel, nodes, topo,
+                                  PredictorKind::LtpPerBlock,
+                                  PredictorMode::Active);
+            Tick base = baseCycles[cell++];
+
+            std::uint64_t verdicts = r.selfInvTimelyCorrect +
+                                     r.selfInvLateCorrect +
+                                     r.selfInvPremature;
+            auto frac = [&](std::uint64_t x) {
+                return verdicts ? double(x) / double(verdicts) : 0.0;
+            };
+            std::printf("%5u %-6s | %12llu %7.3f | %8llu %7.1f %7.1f "
+                        "%7.1f | %8.1f\n",
+                        unsigned(nodes), topologyKindName(topo),
+                        (unsigned long long)r.cycles,
+                        r.cycles ? double(base) / double(r.cycles) : 0.0,
+                        (unsigned long long)r.selfInvsIssued,
+                        bench::pct(frac(r.selfInvTimelyCorrect)),
+                        bench::pct(frac(r.selfInvLateCorrect)),
+                        bench::pct(frac(r.selfInvPremature)),
+                        bench::pct(r.peakLinkUtilization()));
             if (!r.completed)
                 std::printf("      ^ did not complete before maxTicks\n");
         }

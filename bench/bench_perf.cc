@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Simulation-core performance benchmark: the tracked perf trajectory.
+ *
+ * Runs every registered kernel under the two standard configurations —
+ * the base system (no predictor) and the Active per-block LTP (the
+ * Figure 9 methodology) — and records wall-clock seconds, simulated
+ * events per second, and protocol messages per second for each run in a
+ * machine-diffable JSON file (`BENCH_core.json` by default).
+ *
+ * Every perf-affecting PR from this one onward reruns this bench in
+ * Release mode and diffs the JSON against the previous trajectory point.
+ *
+ *   $ ./bench_perf [--out FILE] [--scale S] [kernel...]
+ *
+ * --scale multiplies every kernel's default iteration count (use < 1 for
+ * a quick smoke run, > 1 for more stable numbers). Wall-clock timing
+ * covers system construction + run (the steady-state schedule/execute
+ * loop dominates).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace ltp;
+
+namespace
+{
+
+struct Sample
+{
+    std::string kernel;
+    std::string config;
+    bool completed = false;
+    double wallSeconds = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t events = 0;
+    std::uint64_t msgs = 0;
+
+    double rate(std::uint64_t n) const
+    {
+        return wallSeconds > 0.0 ? double(n) / wallSeconds : 0.0;
+    }
+};
+
+Sample
+runOne(const std::string &kernel, PredictorKind kind, PredictorMode mode,
+       const char *config_name, double scale)
+{
+    ExperimentSpec spec;
+    spec.kernel = kernel;
+    spec.predictor = kind;
+    spec.mode = mode;
+    spec.iterScale = scale;
+
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult r = runExperiment(spec);
+    auto t1 = std::chrono::steady_clock::now();
+
+    Sample s;
+    s.kernel = kernel;
+    s.config = config_name;
+    s.completed = r.completed;
+    s.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    s.cycles = r.cycles;
+    s.events = r.eventsExecuted;
+    s.msgs = r.netMsgs;
+    return s;
+}
+
+void
+writeJson(const std::string &path, const std::vector<Sample> &samples,
+          double scale)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"bench_core/v1\",\n");
+    std::fprintf(f, "  \"build\": \"%s\",\n",
+#ifdef NDEBUG
+                 "release"
+#else
+                 "debug"
+#endif
+    );
+    std::fprintf(f, "  \"iterScale\": %g,\n", scale);
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        std::fprintf(f,
+                     "    {\"kernel\": \"%s\", \"config\": \"%s\", "
+                     "\"completed\": %s, \"wallSeconds\": %.4f, "
+                     "\"cycles\": %llu, \"events\": %llu, \"msgs\": %llu, "
+                     "\"eventsPerSec\": %.0f, \"msgsPerSec\": %.0f}%s\n",
+                     s.kernel.c_str(), s.config.c_str(),
+                     s.completed ? "true" : "false", s.wallSeconds,
+                     (unsigned long long)s.cycles,
+                     (unsigned long long)s.events,
+                     (unsigned long long)s.msgs, s.rate(s.events),
+                     s.rate(s.msgs), i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_core.json";
+    double scale = 1.0;
+    std::vector<std::string> kernels;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out = argv[++i];
+        } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+            scale = std::atof(argv[++i]);
+        } else {
+            kernels.push_back(argv[i]);
+        }
+    }
+    if (kernels.empty())
+        kernels = allKernelNames();
+    for (const auto &kernel : kernels) {
+        bool known = false;
+        for (const auto &name : allKernelNames())
+            known |= name == kernel;
+        if (!known) {
+            std::fprintf(stderr, "unknown kernel '%s'\n", kernel.c_str());
+            return 1;
+        }
+    }
+
+#ifndef NDEBUG
+    std::fprintf(stderr,
+                 "warning: bench_perf built without NDEBUG; numbers are "
+                 "not comparable to the tracked Release trajectory\n");
+#endif
+
+    bench::printSystemBanner();
+    std::printf("# core perf trajectory -> %s\n", out.c_str());
+    std::printf("%-12s %-10s | %8s %12s %12s | %12s %12s\n", "kernel",
+                "config", "wall s", "events", "msgs", "events/s", "msgs/s");
+
+    std::vector<Sample> samples;
+    for (const auto &kernel : kernels) {
+        for (int cfg = 0; cfg < 2; ++cfg) {
+            Sample s = cfg == 0
+                           ? runOne(kernel, PredictorKind::Base,
+                                    PredictorMode::Off, "base", scale)
+                           : runOne(kernel, PredictorKind::LtpPerBlock,
+                                    PredictorMode::Active, "ltp-active",
+                                    scale);
+            std::printf("%-12s %-10s | %8.3f %12llu %12llu | %12.0f "
+                        "%12.0f%s\n",
+                        s.kernel.c_str(), s.config.c_str(), s.wallSeconds,
+                        (unsigned long long)s.events,
+                        (unsigned long long)s.msgs, s.rate(s.events),
+                        s.rate(s.msgs), s.completed ? "" : "  (incomplete)");
+            samples.push_back(std::move(s));
+        }
+    }
+
+    writeJson(out, samples, scale);
+    return 0;
+}

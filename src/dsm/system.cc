@@ -153,6 +153,7 @@ DsmSystem::collect(bool completed) const
     RunResult r;
     r.completed = completed;
     r.cycles = eq_.now();
+    r.eventsExecuted = eq_.eventsExecuted();
     r.invalidations = stats_.counterValue("pred.invalidations");
     r.predicted = stats_.counterValue("pred.predicted");
     r.notPredicted = stats_.counterValue("pred.notPredicted");

@@ -42,6 +42,8 @@ struct RunResult
     bool completed = false; //!< all threads finished before maxTicks
     Tick cycles = 0;
     std::uint64_t memOps = 0;
+    /** Discrete events executed by the simulation core (perf tracking). */
+    std::uint64_t eventsExecuted = 0;
 
     // Prediction-accuracy accounting (Figures 6-8). The denominator is
     // the number of (real or correctly-replaced) invalidations.

@@ -70,7 +70,7 @@ class SyncDomain
         std::vector<std::coroutine_handle<>> batch;
         batch.swap(waiting_);
         ++completed_;
-        eq_.scheduleIn(barrierLatency_, [batch] {
+        eq_.scheduleIn(barrierLatency_, [batch = std::move(batch)] {
             for (auto handle : batch)
                 handle.resume();
         });

@@ -8,8 +8,8 @@
 #define LTP_MEM_ADDR_HH
 
 #include <cassert>
-#include <unordered_map>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace ltp
@@ -84,9 +84,8 @@ class HomeMap
     home(Addr a) const
     {
         Addr page = pageMath_.blockNum(a);
-        auto it = pinned_.find(page);
-        if (it != pinned_.end())
-            return it->second;
+        if (const NodeId *n = pinned_.find(page))
+            return *n;
         return NodeId(page % numNodes_);
     }
 
@@ -111,7 +110,7 @@ class HomeMap
   private:
     BlockMath pageMath_;
     NodeId numNodes_;
-    std::unordered_map<Addr, NodeId> pinned_;
+    FlatMap<Addr, NodeId> pinned_;
 };
 
 } // namespace ltp

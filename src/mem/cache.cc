@@ -19,21 +19,21 @@ CacheLine *
 Cache::find(Addr addr)
 {
     Addr blk = math_.align(addr);
-    auto it = lines_.find(blk);
-    if (it == lines_.end() || it->second.line.state == CacheState::Invalid)
+    Entry *e = lines_.find(blk);
+    if (!e || e->line.state == CacheState::Invalid)
         return nullptr;
     // A lookup is a use: refresh recency so LRU reflects touches.
-    touchLru(blk, it->second);
-    return &it->second.line;
+    touchLru(blk, *e);
+    return &e->line;
 }
 
 const CacheLine *
 Cache::find(Addr addr) const
 {
-    auto it = lines_.find(math_.align(addr));
-    if (it == lines_.end() || it->second.line.state == CacheState::Invalid)
+    const Entry *e = lines_.find(math_.align(addr));
+    if (!e || e->line.state == CacheState::Invalid)
         return nullptr;
-    return &it->second.line;
+    return &e->line;
 }
 
 CacheState
@@ -63,8 +63,8 @@ Cache::touchLru(Addr block_addr, Entry &e)
 CacheLine *
 Cache::findAny(Addr addr)
 {
-    auto it = lines_.find(math_.align(addr));
-    return it == lines_.end() ? nullptr : &it->second.line;
+    Entry *e = lines_.find(math_.align(addr));
+    return e ? &e->line : nullptr;
 }
 
 std::optional<Cache::Victim>
@@ -73,13 +73,19 @@ Cache::insert(Addr addr, CacheState state)
     assert(state != CacheState::Invalid);
     Addr blk = math_.align(addr);
 
-    auto it = lines_.find(blk);
-    if (it != lines_.end() && it->second.line.state != CacheState::Invalid) {
+    Entry *existing = lines_.find(blk);
+    if (existing && existing->line.state != CacheState::Invalid) {
         // Upgrade in place (e.g., Shared -> Exclusive).
-        it->second.line.state = state;
-        touchLru(blk, it->second);
+        existing->line.state = state;
+        touchLru(blk, *existing);
         return std::nullopt;
     }
+
+    // Preserve sticky per-block flags across re-fetches. Copied out now:
+    // the eviction below mutates lines_, which invalidates `existing`.
+    CacheLine preserved;
+    if (existing)
+        preserved = existing->line;
 
     std::optional<Victim> victim;
     if (!unbounded()) {
@@ -87,19 +93,16 @@ Cache::insert(Addr addr, CacheState state)
         // Count resident ways in this set.
         unsigned resident = 0;
         for (Addr a : list) {
-            auto lit = lines_.find(a);
-            if (lit != lines_.end() &&
-                lit->second.line.state != CacheState::Invalid) {
+            const Entry *le = lines_.find(a);
+            if (le && le->line.state != CacheState::Invalid)
                 ++resident;
-            }
         }
         if (resident >= ways_) {
             // Evict the least recently used resident block.
             for (auto rit = list.rbegin(); rit != list.rend(); ++rit) {
-                auto lit = lines_.find(*rit);
-                if (lit != lines_.end() &&
-                    lit->second.line.state != CacheState::Invalid) {
-                    victim = Victim{*rit, lit->second.line.state};
+                const Entry *le = lines_.find(*rit);
+                if (le && le->line.state != CacheState::Invalid) {
+                    victim = Victim{*rit, le->line.state};
                     break;
                 }
             }
@@ -109,16 +112,14 @@ Cache::insert(Addr addr, CacheState state)
     }
 
     Entry e;
-    // Preserve sticky per-block flags across re-fetches.
-    if (it != lines_.end())
-        e.line = it->second.line;
+    e.line = preserved;
     e.line.state = state;
     if (!unbounded()) {
         auto &list = lru_[setIndex(blk)];
         list.push_front(blk);
         e.lruPos = list.begin();
     }
-    lines_[blk] = e;
+    lines_.insert(blk, e);
     return victim;
 }
 
@@ -126,18 +127,18 @@ void
 Cache::invalidate(Addr addr)
 {
     Addr blk = math_.align(addr);
-    auto it = lines_.find(blk);
-    if (it == lines_.end())
+    Entry *e = lines_.find(blk);
+    if (!e)
         return;
-    if (!unbounded() && it->second.line.state != CacheState::Invalid)
-        lru_[setIndex(blk)].erase(it->second.lruPos);
+    if (!unbounded() && e->line.state != CacheState::Invalid)
+        lru_[setIndex(blk)].erase(e->lruPos);
     // Keep the entry (state Invalid) so sticky flags like activelyShared
     // and the DSI version survive re-fetch; finite mode erases fully to
     // bound memory.
     if (unbounded()) {
-        it->second.line.state = CacheState::Invalid;
+        e->line.state = CacheState::Invalid;
     } else {
-        lines_.erase(it);
+        lines_.erase(blk);
     }
 }
 

@@ -15,10 +15,10 @@
 #include <cstdint>
 #include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/addr.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace ltp
@@ -122,7 +122,7 @@ class Cache
     unsigned numSets_;
     unsigned ways_;
     /** Keyed by block-aligned address. */
-    std::unordered_map<Addr, Entry> lines_;
+    FlatMap<Addr, Entry> lines_;
     /** Per-set LRU order, most recent at front (finite mode only). */
     std::vector<std::list<Addr>> lru_;
 };

@@ -13,8 +13,8 @@
 #define LTP_MEM_MEMORY_VALUES_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace ltp
@@ -28,8 +28,8 @@ class MemoryValues
     std::uint64_t
     load(Addr a) const
     {
-        auto it = words_.find(wordAddr(a));
-        return it == words_.end() ? 0 : it->second;
+        const std::uint64_t *v = words_.find(wordAddr(a));
+        return v ? *v : 0;
     }
 
     /** Write the 64-bit word at @p a. */
@@ -45,9 +45,8 @@ class MemoryValues
     {
         Addr w = wordAddr(a);
         std::uint64_t old = 0;
-        auto it = words_.find(w);
-        if (it != words_.end())
-            old = it->second;
+        if (const std::uint64_t *v = words_.find(w))
+            old = *v;
         words_[w] = set_to;
         return old;
     }
@@ -67,7 +66,7 @@ class MemoryValues
   private:
     static Addr wordAddr(Addr a) { return a & ~Addr(7); }
 
-    std::unordered_map<Addr, std::uint64_t> words_;
+    FlatMap<Addr, std::uint64_t> words_;
 };
 
 } // namespace ltp

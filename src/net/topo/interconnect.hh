@@ -39,10 +39,15 @@ struct NetworkParams
     Tick dataOccupancy = 12;   //!< NI serialization of a data-carrying msg
 
     // Topology-aware knobs (ignored by the point-to-point model).
+    // Calibrated so one unloaded routed hop costs a control message
+    //   linkControlOccupancy + hopLatency + routerLatency = 80 cycles,
+    // exactly the paper's point-to-point flight latency: adjacent-node
+    // control traffic times identically under p2p and routed models, and
+    // topology runs differ only through hop count and congestion.
     TopologyKind topology = TopologyKind::PointToPoint;
     unsigned meshWidth = 0;  //!< X extent of mesh/torus; 0 = most-square
-    Tick hopLatency = 10;    //!< per-hop wire flight (cycles)
-    Tick routerLatency = 4;  //!< per-hop routing/pipeline delay (cycles)
+    Tick hopLatency = 68;    //!< per-hop wire flight (cycles)
+    Tick routerLatency = 8;  //!< per-hop routing/pipeline delay (cycles)
     Tick linkControlOccupancy = 4; //!< link serialization, header-only msg
     Tick linkDataOccupancy = 12;   //!< link serialization, data msg
 };

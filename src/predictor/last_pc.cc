@@ -33,10 +33,10 @@ LastPcPredictor::onTouch(Addr blk, Pc pc, bool is_write, bool fill)
 void
 LastPcPredictor::onInvalidation(Addr blk)
 {
-    auto it = blocks_.find(blk);
-    if (it == blocks_.end() || !it->second.traceOpen)
+    BlockState *bp = blocks_.find(blk);
+    if (!bp || !bp->traceOpen)
         return;
-    BlockState &b = it->second;
+    BlockState &b = *bp;
 
     if (TableEntry *e = findEntry(b, b.lastPc)) {
         e->conf.strengthen();
@@ -52,10 +52,10 @@ LastPcPredictor::onInvalidation(Addr blk)
 void
 LastPcPredictor::onVerification(Addr blk, bool premature)
 {
-    auto it = blocks_.find(blk);
-    if (it == blocks_.end())
+    BlockState *bp = blocks_.find(blk);
+    if (!bp)
         return;
-    BlockState &b = it->second;
+    BlockState &b = *bp;
     if (!b.predictedPc)
         return;
 

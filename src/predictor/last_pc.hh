@@ -14,12 +14,12 @@
 #define LTP_PREDICTOR_LAST_PC_HH
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "predictor/invalidation_predictor.hh"
 #include "predictor/ltp_per_block.hh"
 #include "predictor/signature.hh"
+#include "sim/flat_map.hh"
 
 namespace ltp
 {
@@ -54,7 +54,7 @@ class LastPcPredictor : public InvalidationPredictor
     TableEntry *findEntry(BlockState &b, Pc pc);
 
     LtpParams params_;
-    std::unordered_map<Addr, BlockState> blocks_;
+    FlatMap<Addr, BlockState> blocks_;
 };
 
 } // namespace ltp

@@ -15,8 +15,8 @@ LtpGlobal::onTouch(Addr blk, Pc pc, bool is_write, bool fill)
         b.cur = b.cur.extend(pc);
     }
 
-    auto it = table_.find(b.cur.value());
-    if (it != table_.end() && it->second.atLeast(params_.confThreshold)) {
+    const ConfidenceCounter *conf = table_.find(b.cur.value());
+    if (conf && conf->atLeast(params_.confThreshold)) {
         b.predictedSig = b.cur;
         return true;
     }
@@ -26,18 +26,17 @@ LtpGlobal::onTouch(Addr blk, Pc pc, bool is_write, bool fill)
 void
 LtpGlobal::onInvalidation(Addr blk)
 {
-    auto it = blocks_.find(blk);
-    if (it == blocks_.end() || !it->second.traceOpen)
+    BlockState *bp = blocks_.find(blk);
+    if (!bp || !bp->traceOpen)
         return;
-    BlockState &b = it->second;
+    BlockState &b = *bp;
     activeBlocks_[blk] = true;
 
-    auto tit = table_.find(b.cur.value());
-    if (tit != table_.end()) {
-        tit->second.strengthen();
+    if (ConfidenceCounter *conf = table_.find(b.cur.value())) {
+        conf->strengthen();
     } else {
-        table_.emplace(b.cur.value(), ConfidenceCounter(params_.confInitial,
-                                                        params_.confMax));
+        table_.insert(b.cur.value(), ConfidenceCounter(params_.confInitial,
+                                                       params_.confMax));
     }
     b.traceOpen = false;
     b.predictedSig.reset();
@@ -46,20 +45,19 @@ LtpGlobal::onInvalidation(Addr blk)
 void
 LtpGlobal::onVerification(Addr blk, bool premature)
 {
-    auto it = blocks_.find(blk);
-    if (it == blocks_.end())
+    BlockState *bp = blocks_.find(blk);
+    if (!bp)
         return;
-    BlockState &b = it->second;
+    BlockState &b = *bp;
     if (!b.predictedSig)
         return;
     activeBlocks_[blk] = true;
 
-    auto tit = table_.find(b.predictedSig->value());
-    if (tit != table_.end()) {
+    if (ConfidenceCounter *conf = table_.find(b.predictedSig->value())) {
         if (premature)
-            tit->second.weaken();
+            conf->weaken();
         else
-            tit->second.strengthen();
+            conf->strengthen();
     }
     b.predictedSig.reset();
     b.traceOpen = false;

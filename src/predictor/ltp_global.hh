@@ -14,11 +14,11 @@
 #define LTP_PREDICTOR_LTP_GLOBAL_HH
 
 #include <optional>
-#include <unordered_map>
 
 #include "predictor/invalidation_predictor.hh"
 #include "predictor/ltp_per_block.hh"
 #include "predictor/signature.hh"
+#include "sim/flat_map.hh"
 
 namespace ltp
 {
@@ -46,11 +46,11 @@ class LtpGlobal : public InvalidationPredictor
     };
 
     LtpParams params_;
-    std::unordered_map<Addr, BlockState> blocks_;
+    FlatMap<Addr, BlockState> blocks_;
     /** Global last-touch table: signature value -> confidence. */
-    std::unordered_map<std::uint64_t, ConfidenceCounter> table_;
+    FlatMap<std::uint64_t, ConfidenceCounter> table_;
     /** Blocks that have completed at least one trace (Table 3 divisor). */
-    std::unordered_map<Addr, bool> activeBlocks_;
+    FlatMap<Addr, bool> activeBlocks_;
 };
 
 } // namespace ltp

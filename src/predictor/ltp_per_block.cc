@@ -36,10 +36,10 @@ LtpPerBlock::onTouch(Addr blk, Pc pc, bool is_write, bool fill)
 void
 LtpPerBlock::onInvalidation(Addr blk)
 {
-    auto it = blocks_.find(blk);
-    if (it == blocks_.end() || !it->second.traceOpen)
+    BlockState *bp = blocks_.find(blk);
+    if (!bp || !bp->traceOpen)
         return;
-    BlockState &b = it->second;
+    BlockState &b = *bp;
 
     // The trace just completed: its current signature IS the last-touch
     // signature for this sharing phase. Learn it.
@@ -56,10 +56,10 @@ LtpPerBlock::onInvalidation(Addr blk)
 void
 LtpPerBlock::onVerification(Addr blk, bool premature)
 {
-    auto it = blocks_.find(blk);
-    if (it == blocks_.end())
+    BlockState *bp = blocks_.find(blk);
+    if (!bp)
         return;
-    BlockState &b = it->second;
+    BlockState &b = *bp;
     if (!b.predictedSig)
         return;
 
@@ -93,8 +93,8 @@ LtpPerBlock::storage() const
 std::size_t
 LtpPerBlock::tableSize(Addr blk) const
 {
-    auto it = blocks_.find(blk);
-    return it == blocks_.end() ? 0 : it->second.table.size();
+    const BlockState *b = blocks_.find(blk);
+    return b ? b->table.size() : 0;
 }
 
 } // namespace ltp

@@ -15,11 +15,11 @@
 #define LTP_PREDICTOR_LTP_PER_BLOCK_HH
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "predictor/invalidation_predictor.hh"
 #include "predictor/signature.hh"
+#include "sim/flat_map.hh"
 
 namespace ltp
 {
@@ -73,7 +73,7 @@ class LtpPerBlock : public InvalidationPredictor
     TableEntry *findEntry(BlockState &b, const Signature &sig);
 
     LtpParams params_;
-    std::unordered_map<Addr, BlockState> blocks_;
+    FlatMap<Addr, BlockState> blocks_;
 };
 
 } // namespace ltp

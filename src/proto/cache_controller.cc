@@ -57,7 +57,8 @@ CacheController::access(Addr addr, Pc pc, bool is_write, AccessDone done)
     if (hit) {
         hits_.inc();
         Tick lat = params_.hitLatency;
-        eq_.scheduleIn(lat, [this, blk, pc, is_write, done, lat] {
+        eq_.scheduleIn(lat, [this, blk, pc, is_write,
+                             done = std::move(done), lat] {
             afterTouch(blk, pc, is_write, /*fill=*/false);
             done(lat, /*was_miss=*/false);
         });
@@ -152,7 +153,8 @@ CacheController::handleData(const Message &msg)
     missLatency_.sample(double(lat));
 
     eq_.scheduleIn(params_.ctrlOverhead,
-                   [this, blk, pc, write, fill, done, lat] {
+                   [this, blk, pc, write, fill, done = std::move(done),
+                    lat] {
                        afterTouch(blk, pc, write, fill);
                        done(lat, /*was_miss=*/true);
                    });

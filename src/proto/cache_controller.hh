@@ -22,8 +22,6 @@
 #define LTP_PROTO_CACHE_CONTROLLER_HH
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "mem/addr.hh"
 #include "mem/cache.hh"
@@ -31,6 +29,7 @@
 #include "net/topo/interconnect.hh"
 #include "predictor/invalidation_predictor.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -146,7 +145,7 @@ class CacheController : public SelfInvalidationPort
     Outstanding out_;
 
     /** Passive mode: blocks with an unresolved last-touch prediction. */
-    std::unordered_set<Addr> pendingPred_;
+    FlatSet<Addr> pendingPred_;
 
     Counter &hits_;
     Counter &misses_;

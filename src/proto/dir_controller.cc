@@ -103,7 +103,7 @@ DirController::process(const Queued &q)
       case MsgType::EvictS:
       case MsgType::EvictX: {
         DirEntry &e = dir_.entry(msg.addr);
-        if (e.busy && !txns_.count(msg.addr)) {
+        if (e.busy && !txns_.contains(msg.addr)) {
             // A data reply for this block is still being assembled
             // (reply window): park the flush until it is on the wire.
             deferred_[msg.addr].push_back(q);
@@ -323,12 +323,12 @@ Tick
 DirController::handleAck(const Message &msg)
 {
     Addr blk = msg.addr;
-    auto it = txns_.find(blk);
-    if (it == txns_.end()) {
+    Txn *txnp = txns_.find(blk);
+    if (!txnp) {
         staleDrops_.inc();
         return params_.engineOverhead;
     }
-    Txn &txn = it->second;
+    Txn &txn = *txnp;
     DirEntry &e = dir_.entry(blk);
 
     if (msg.type == MsgType::WbData) {
@@ -431,10 +431,10 @@ DirController::handleSelfInvOrEvict(const Message &msg)
     bool is_x = msg.type == MsgType::SelfInvX ||
                 msg.type == MsgType::EvictX;
     DirEntry &e = dir_.entry(blk);
-    auto it = txns_.find(blk);
+    Txn *txnp = txns_.find(blk);
 
-    if (e.busy && it != txns_.end()) {
-        Txn &txn = it->second;
+    if (e.busy && txnp) {
+        Txn &txn = *txnp;
         if (txn.awaitingWb && is_x && e.owner == n) {
             // The copy we asked the owner to write back was already on
             // its way home: consume it as the writeback. A
@@ -539,15 +539,12 @@ void
 DirController::unlock(Addr blk)
 {
     dir_.entry(blk).busy = false;
-    auto dit = deferred_.find(blk);
-    if (dit != deferred_.end()) {
+    if (std::deque<Queued> *parked = deferred_.find(blk)) {
         // Re-inject parked requests ahead of newer arrivals, preserving
         // their original arrival order and timestamps.
-        for (auto rit = dit->second.rbegin(); rit != dit->second.rend();
-             ++rit) {
+        for (auto rit = parked->rbegin(); rit != parked->rend(); ++rit)
             inq_.push_front(*rit);
-        }
-        deferred_.erase(dit);
+        deferred_.erase(blk);
         engineKick();
     }
 }

@@ -20,13 +20,13 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_map>
 
 #include "net/message.hh"
 #include "net/topo/interconnect.hh"
 #include "proto/directory.hh"
 #include "proto/sharing_predictor.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -143,12 +143,12 @@ class DirController
     Directory dir_;
     std::deque<Queued> inq_;
     bool engineBusy_ = false;
-    std::unordered_map<Addr, Txn> txns_;
+    FlatMap<Addr, Txn> txns_;
     /** Verification verdict to piggyback on the pending reply. */
-    std::unordered_map<Addr, Verification> txnVerdicts_;
-    std::unordered_map<Addr, std::deque<Queued>> deferred_;
+    FlatMap<Addr, Verification> txnVerdicts_;
+    FlatMap<Addr, std::deque<Queued>> deferred_;
     /** Self-invalidated *write* copies awaiting verification (per block). */
-    std::unordered_map<Addr, std::uint64_t> writeCopyMask_;
+    FlatMap<Addr, std::uint64_t> writeCopyMask_;
 
     VerifyHook verifyHook_;
     SharingPredictor sharing_;

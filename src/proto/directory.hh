@@ -12,8 +12,8 @@
 #define LTP_PROTO_DIRECTORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace ltp
@@ -87,12 +87,7 @@ class Directory
     DirEntry &entry(Addr blk) { return entries_[blk]; }
 
     /** Lookup without creating. */
-    const DirEntry *
-    find(Addr blk) const
-    {
-        auto it = entries_.find(blk);
-        return it == entries_.end() ? nullptr : &it->second;
-    }
+    const DirEntry *find(Addr blk) const { return entries_.find(blk); }
 
     std::size_t numEntries() const { return entries_.size(); }
 
@@ -105,7 +100,7 @@ class Directory
     }
 
   private:
-    std::unordered_map<Addr, DirEntry> entries_;
+    FlatMap<Addr, DirEntry> entries_;
 };
 
 } // namespace ltp

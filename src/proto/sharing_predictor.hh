@@ -18,9 +18,9 @@
 #define LTP_PROTO_SHARING_PREDICTOR_HH
 
 #include <optional>
-#include <unordered_map>
 
 #include "predictor/signature.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace ltp
@@ -63,18 +63,17 @@ class SharingPredictor
     std::optional<NodeId>
     predictNext(Addr blk, NodeId current) const
     {
-        auto bit = blocks_.find(blk);
-        if (bit == blocks_.end())
+        const BlockState *b = blocks_.find(blk);
+        if (!b)
             return std::nullopt;
-        auto tit = bit->second.next.find(current);
-        if (tit == bit->second.next.end())
+        const Transition *t = b->next.find(current);
+        if (!t)
             return std::nullopt;
-        const Transition &t = tit->second;
-        if (t.target == invalidNode || t.target == current ||
-            !t.conf.atLeast(threshold_)) {
+        if (t->target == invalidNode || t->target == current ||
+            !t->conf.atLeast(threshold_)) {
             return std::nullopt;
         }
-        return t.target;
+        return t->target;
     }
 
     std::size_t trackedBlocks() const { return blocks_.size(); }
@@ -89,11 +88,11 @@ class SharingPredictor
     struct BlockState
     {
         NodeId lastRequester = invalidNode;
-        std::unordered_map<NodeId, Transition> next;
+        FlatMap<NodeId, Transition> next;
     };
 
     unsigned threshold_;
-    std::unordered_map<Addr, BlockState> blocks_;
+    FlatMap<Addr, BlockState> blocks_;
 };
 
 } // namespace ltp

@@ -5,13 +5,59 @@
 namespace ltp
 {
 
+EventQueue::EventQueue() : buckets_(window) {}
+
+void
+EventQueue::pushBucket(Tick when, EventId id)
+{
+    assert(when - now_ < window);
+    std::size_t idx = std::size_t(when) & windowMask;
+    buckets_[idx].ids.push_back(id);
+    bitmap_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+    ++bucketedEntries_;
+}
+
+void
+EventQueue::migrate()
+{
+    while (!overflow_.empty() && overflow_.top().when - now_ < window) {
+        OverflowEntry e = overflow_.top();
+        overflow_.pop();
+        std::uint32_t slot = std::uint32_t(e.id & slotMask);
+        if (slots_[slot].id != e.id)
+            continue; // cancelled while parked in the overflow heap
+        pushBucket(e.when, e.id);
+    }
+}
+
 EventQueue::EventId
 EventQueue::scheduleAt(Tick when, Callback cb)
 {
     assert(when >= now_ && "scheduling an event in the past");
-    EventId id = nextId_++;
-    heap_.push(Entry{when, nextSeq_++, id});
-    callbacks_.emplace(id, std::move(cb));
+
+    // Pull freshly-eligible overflow events in first so that same-tick
+    // FIFO order (== schedule order) is preserved in the bucket.
+    migrate();
+
+    std::uint32_t slot;
+    if (!freeList_.empty()) {
+        slot = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        assert(slots_.size() < slotMask && "event slot arena exhausted");
+        slot = std::uint32_t(slots_.size());
+        slots_.emplace_back();
+    }
+
+    EventId id = (nextGen_++ << slotBits) | slot;
+    slots_[slot].id = id;
+    slots_[slot].when = when;
+    slots_[slot].cb = std::move(cb);
+
+    if (when - now_ < window)
+        pushBucket(when, id);
+    else
+        overflow_.push(OverflowEntry{when, id});
     ++liveEvents_;
     return id;
 }
@@ -19,72 +65,120 @@ EventQueue::scheduleAt(Tick when, Callback cb)
 bool
 EventQueue::cancel(EventId id)
 {
-    auto it = callbacks_.find(id);
-    if (it == callbacks_.end())
-        return false;
-    callbacks_.erase(it);
+    if (id == 0)
+        return false; // the null handle; free slots carry id 0
+    std::uint32_t slot = std::uint32_t(id & slotMask);
+    if (slot >= slots_.size() || slots_[slot].id != id)
+        return false; // already ran, already cancelled, or never existed
+    slots_[slot].cb.reset();
+    release(slot);
     --liveEvents_;
-    // The heap entry stays behind as a tombstone; popNext() skips it.
+    // The ring/overflow entry stays behind as a tombstone; its tag no
+    // longer matches the slot, so the pop path skips it.
     return true;
 }
 
-bool
-EventQueue::popNext(Entry &out)
+std::size_t
+EventQueue::firstBucket() const
 {
-    while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        if (callbacks_.count(e.id)) {
-            out = e;
-            return true;
-        }
-        // tombstone from a cancelled event
+    // Ring-order scan from now_: every bucketed event's tick lies in
+    // [now_, now_ + window), so the first set bit at or after now_'s
+    // ring position (wrapping) is the earliest pending tick.
+    std::size_t start = std::size_t(now_) & windowMask;
+    std::size_t w = start >> 6;
+    std::uint64_t first = bitmap_[w] & (~std::uint64_t(0) << (start & 63));
+    if (first)
+        return (w << 6) + std::size_t(__builtin_ctzll(first));
+    for (std::size_t i = 1; i <= windowWords; ++i) {
+        std::size_t ww = (w + i) & (windowWords - 1);
+        if (bitmap_[ww])
+            return (ww << 6) + std::size_t(__builtin_ctzll(bitmap_[ww]));
     }
-    return false;
+    assert(false && "firstBucket called with an empty ring");
+    return 0;
+}
+
+std::int64_t
+EventQueue::popNextLive(Tick limit)
+{
+    while (liveEvents_ > 0) {
+        migrate();
+
+        if (bucketedEntries_ > 0) {
+            std::size_t idx = firstBucket();
+            Bucket &b = buckets_[idx];
+            while (b.head < b.ids.size()) {
+                EventId id = b.ids[b.head];
+                std::uint32_t slot = std::uint32_t(id & slotMask);
+                if (slots_[slot].id != id) {
+                    ++b.head; // tombstone from a cancelled event
+                    --bucketedEntries_;
+                    continue;
+                }
+                if (slots_[slot].when > limit)
+                    return -1; // leave it pending for a later run
+                ++b.head;
+                --bucketedEntries_;
+                if (b.head == b.ids.size())
+                    clearBucket(idx);
+                return std::int64_t(slot);
+            }
+            clearBucket(idx); // all tombstones: rescan
+            continue;
+        }
+
+        // Ring empty: the next event is a far-future one in the overflow
+        // heap (migrate() above guarantees overflow events are beyond
+        // the current window, hence later than anything bucketed).
+        while (!overflow_.empty()) {
+            OverflowEntry e = overflow_.top();
+            std::uint32_t slot = std::uint32_t(e.id & slotMask);
+            if (slots_[slot].id != e.id) {
+                overflow_.pop(); // tombstone
+                continue;
+            }
+            if (e.when > limit)
+                return -1;
+            overflow_.pop();
+            return std::int64_t(slot);
+        }
+        assert(false && "live events but empty ring and overflow");
+        break;
+    }
+    return -1;
+}
+
+void
+EventQueue::executeSlot(std::uint32_t slot)
+{
+    assert(slots_[slot].when >= now_);
+    now_ = slots_[slot].when;
+    // Move the callback out and recycle the slot *before* invoking: the
+    // callback may schedule new events (growing the slot arena) or even
+    // reuse this very slot.
+    Callback cb = std::move(slots_[slot].cb);
+    release(slot);
+    --liveEvents_;
+    ++executed_;
+    cb();
 }
 
 bool
 EventQueue::step()
 {
-    Entry e;
-    if (!popNext(e))
+    std::int64_t slot = popNextLive(tickNever);
+    if (slot < 0)
         return false;
-    assert(e.when >= now_);
-    now_ = e.when;
-    auto node = callbacks_.extract(e.id);
-    --liveEvents_;
-    ++executed_;
-    node.mapped()();
+    executeSlot(std::uint32_t(slot));
     return true;
-}
-
-Tick
-EventQueue::run()
-{
-    while (step()) {
-    }
-    return now_;
 }
 
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty()) {
-        // Peek the next live event without executing it.
-        Entry e;
-        if (!popNext(e))
-            break;
-        if (e.when > limit) {
-            // Push it back: re-register under the same id.
-            heap_.push(e);
-            break;
-        }
-        now_ = e.when;
-        auto node = callbacks_.extract(e.id);
-        --liveEvents_;
-        ++executed_;
-        node.mapped()();
-    }
+    std::int64_t slot;
+    while ((slot = popNextLive(limit)) >= 0)
+        executeSlot(std::uint32_t(slot));
     return now_;
 }
 

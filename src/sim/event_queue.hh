@@ -5,17 +5,36 @@
  * Events are arbitrary callables scheduled at an absolute tick. Events
  * scheduled for the same tick execute in scheduling order (FIFO within a
  * tick), which makes every simulation run bit-reproducible.
+ *
+ * Implementation (see src/sim/README.md for the full design notes):
+ *
+ *  - Callbacks live in a slab of pooled, recycled slots — a free-list
+ *    arena — and are stored inline via SmallFunction, so the steady-state
+ *    schedule/execute cycle performs zero heap allocations.
+ *
+ *  - An event id encodes its slot index plus a generation tag (the
+ *    global schedule sequence number), so cancellation simply releases
+ *    the slot: stale queue entries no longer match the slot's tag and
+ *    are skipped on pop. The sequence number doubles as the
+ *    FIFO-within-tick tie-breaker.
+ *
+ *  - Time order is a calendar: events within `window` ticks of now go
+ *    into a per-tick bucket ring (O(1) push, bitmap-accelerated scan to
+ *    the next non-empty tick); the rare far-future event waits in a
+ *    binary-heap overflow area and migrates into the ring as the window
+ *    advances. Nearly every simulator delay (NI occupancy, wire flight,
+ *    memory access, barrier release) is far below the window, so the
+ *    common path never touches the heap.
  */
 
 #ifndef LTP_SIM_EVENT_QUEUE_HH
 #define LTP_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/small_function.hh"
 #include "sim/types.hh"
 
 namespace ltp
@@ -31,12 +50,19 @@ namespace ltp
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFunction;
 
-    /** Handle used to cancel a scheduled event. */
+    /**
+     * Handle used to cancel a scheduled event.
+     *
+     * Encodes (generation << slotBits) | slot. Generation tags make ids
+     * single-use: once an event runs or is cancelled its slot is
+     * recycled under a new generation, so a stale id can never cancel
+     * the slot's next occupant.
+     */
     using EventId = std::uint64_t;
 
-    EventQueue() = default;
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -79,7 +105,7 @@ class EventQueue
     bool step();
 
     /** Run until the queue drains. @return the final tick reached. */
-    Tick run();
+    Tick run() { return runUntil(tickNever); }
 
     /**
      * Run until the queue drains or simulated time would exceed @p limit.
@@ -92,30 +118,103 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executed_; }
 
+    /**
+     * Size of the slot arena (diagnostics/tests). Grows to the high-water
+     * mark of concurrently pending events, then stays flat: steady-state
+     * scheduling recycles slots instead of allocating.
+     */
+    std::size_t poolSlots() const { return slots_.size(); }
+
   private:
-    struct Entry
+    /** Low bits of an EventId select the slot; the rest are the tag. */
+    static constexpr unsigned slotBits = 24;
+    static constexpr std::uint64_t slotMask = (std::uint64_t(1)
+                                               << slotBits) -
+                                              1;
+
+    /** Calendar span: events within [now, now + window) are bucketed. */
+    static constexpr std::size_t window = 2048;
+    static constexpr std::size_t windowMask = window - 1;
+    static constexpr std::size_t windowWords = window / 64;
+
+    /** One pooled event: its current id tag and the inline callback. */
+    struct Slot
+    {
+        EventId id = 0; //!< 0 = free (generations start at 1)
+        Tick when = 0;
+        Callback cb;
+    };
+
+    /**
+     * One calendar tick's events, in scheduling order. `head` marks the
+     * consumed prefix (entries are popped front-to-back within a tick).
+     */
+    struct Bucket
+    {
+        std::vector<EventId> ids;
+        std::size_t head = 0;
+    };
+
+    struct OverflowEntry
     {
         Tick when;
-        std::uint64_t seq; //!< tie-breaker: FIFO within a tick
-        EventId id;
+        EventId id; //!< high bits = schedule order -> FIFO tie-break
 
         bool
-        operator>(const Entry &o) const
+        operator>(const OverflowEntry &o) const
         {
             if (when != o.when)
                 return when > o.when;
-            return seq > o.seq;
+            return id > o.id;
         }
     };
 
-    /** Pop the next live entry; returns false if none. */
-    bool popNext(Entry &out);
+    /** Append to the ring bucket for @p when (must be within window). */
+    void pushBucket(Tick when, EventId id);
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::unordered_map<EventId, Callback> callbacks_;
+    /** Move overflow events that entered the window into the ring. */
+    void migrate();
+
+    /**
+     * Locate and dequeue the next live event with when <= @p limit.
+     * Leaves it (and now_) untouched when the next event is beyond the
+     * limit. @return the slot index, or -1 when nothing is runnable.
+     */
+    std::int64_t popNextLive(Tick limit);
+
+    /** Ring index of the first non-empty bucket at or after now_. */
+    std::size_t firstBucket() const;
+
+    /** Advance now_ to @p slot's tick, recycle it, run its callback. */
+    void executeSlot(std::uint32_t slot);
+
+    void
+    clearBucket(std::size_t idx)
+    {
+        buckets_[idx].ids.clear();
+        buckets_[idx].head = 0;
+        bitmap_[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+    }
+
+    /** Release @p slot back to the free list. */
+    void
+    release(std::uint32_t slot)
+    {
+        slots_[slot].id = 0;
+        freeList_.push_back(slot);
+    }
+
+    std::vector<Bucket> buckets_;           //!< window per-tick buckets
+    std::uint64_t bitmap_[windowWords] = {}; //!< non-empty-bucket bits
+    std::size_t bucketedEntries_ = 0;       //!< entries in the ring (incl. stale)
+    std::priority_queue<OverflowEntry, std::vector<OverflowEntry>,
+                        std::greater<>>
+        overflow_;
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeList_;
     Tick now_ = 0;
-    std::uint64_t nextSeq_ = 0;
-    EventId nextId_ = 1;
+    std::uint64_t nextGen_ = 1;
     std::size_t liveEvents_ = 0;
     std::uint64_t executed_ = 0;
 };

@@ -34,6 +34,8 @@ categories()
 
 } // namespace
 
+bool Debug::anyEnabled_ = !categories().empty();
+
 bool
 Debug::enabled(const std::string &cat)
 {
@@ -45,12 +47,14 @@ void
 Debug::enable(const std::string &cat)
 {
     categories().insert(cat);
+    anyEnabled_ = true;
 }
 
 void
 Debug::clear()
 {
     categories().clear();
+    anyEnabled_ = false;
 }
 
 void

@@ -23,6 +23,13 @@ namespace ltp
 class Debug
 {
   public:
+    /**
+     * True when at least one category is enabled. Hot-path guard: the
+     * common all-disabled case is one branch on a cached flag, with no
+     * string construction or set lookup.
+     */
+    static bool anyEnabled() { return anyEnabled_; }
+
     /** True if category @p cat was enabled via LTP_DEBUG. */
     static bool enabled(const std::string &cat);
 
@@ -30,6 +37,9 @@ class Debug
     static void enable(const std::string &cat);
     /** Disable all categories. */
     static void clear();
+
+  private:
+    static bool anyEnabled_;
 };
 
 /** Emit one debug line if @p cat is enabled. */
@@ -43,7 +53,7 @@ void debugLog(const std::string &cat, Tick now, const std::string &msg);
  */
 #define LTP_DPRINTF(cat, now, expr)                                         \
     do {                                                                    \
-        if (::ltp::Debug::enabled(cat)) {                                   \
+        if (::ltp::Debug::anyEnabled() && ::ltp::Debug::enabled(cat)) {     \
             std::ostringstream oss_;                                        \
             oss_ << expr;                                                   \
             ::ltp::debugLog(cat, now, oss_.str());                          \

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "net/network.hh"
 #include "net/topo/routed_network.hh"
 #include "net/topo/topology.hh"
 #include "sim/event_queue.hh"
@@ -210,6 +211,38 @@ TEST_F(RoutedNetworkTest, LatencyIsNiPlusPerHopCosts)
     EXPECT_EQ(oneMessageLatency(0, 10),
               p.controlOccupancy + 4 * hopCost(p, false) +
                   p.controlOccupancy);
+}
+
+/**
+ * Calibration pin (ROADMAP): the default per-hop knobs are chosen so one
+ * unloaded routed hop costs a control message exactly the paper's
+ * 80-cycle point-to-point flight. Adjacent-node latency must therefore
+ * be identical under the p2p model and every routed topology.
+ */
+TEST_F(RoutedNetworkTest, DefaultKnobsMatchPaperFlightLatencyAtOneHop)
+{
+    NetworkParams p = meshParams();
+    EXPECT_EQ(p.linkControlOccupancy + p.hopLatency + p.routerLatency,
+              p.flightLatency);
+    EXPECT_EQ(hopCost(p, false), 80u);
+
+    // p2p end-to-end for a control message: egress NI + flight + ingress.
+    Tick p2p;
+    {
+        EventQueue eq;
+        StatGroup stats;
+        Network net(eq, 16, NetworkParams{}, stats);
+        Tick arrived = 0;
+        for (NodeId n = 0; n < 16; ++n)
+            net.setSink(n, [&](const Message &) { arrived = eq.now(); });
+        net.send(msg(MsgType::GetS, 0, 1));
+        eq.run();
+        p2p = arrived;
+    }
+    EXPECT_EQ(p2p, p.controlOccupancy + p.flightLatency +
+                       p.controlOccupancy);
+    // One routed hop on the mesh times identically.
+    EXPECT_EQ(oneMessageLatency(0, 1), p2p);
 }
 
 TEST_F(RoutedNetworkTest, MeshLatencyGrowsWithManhattanDistance)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <random>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -146,6 +148,181 @@ TEST(EventQueue, CancelledEventNotCounted)
     eq.cancel(id);
     eq.run();
     EXPECT_EQ(eq.eventsExecuted(), 1u);
+}
+
+// ---- pooling / generation-tag safety ---------------------------------------
+
+TEST(EventQueue, NullAndGarbageIdsCannotCancel)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.scheduleAt(10, [&] { ran = true; });
+    // Id 0 is the natural "not scheduled" sentinel; it must never match
+    // a free slot (which also carries tag 0).
+    EXPECT_FALSE(eq.cancel(0));
+    EXPECT_FALSE(eq.cancel(~EventQueue::EventId(0)));
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot)
+{
+    EventQueue eq;
+    bool first = false, second = false;
+    auto id1 = eq.scheduleAt(10, [&] { first = true; });
+    eq.run(); // id1's slot is recycled
+    auto id2 = eq.scheduleAt(20, [&] { second = true; });
+    // The recycled slot now belongs to id2; the stale id must not touch it.
+    EXPECT_FALSE(eq.cancel(id1));
+    eq.run();
+    EXPECT_TRUE(first);
+    EXPECT_TRUE(second);
+    EXPECT_TRUE(eq.cancel(id2) == false); // already ran
+}
+
+TEST(EventQueue, StaleIdAfterCancelCannotCancelReuse)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto id1 = eq.scheduleAt(10, [] {});
+    EXPECT_TRUE(eq.cancel(id1));
+    auto id2 = eq.scheduleAt(10, [&] { ran = true; }); // reuses the slot
+    EXPECT_FALSE(eq.cancel(id1));
+    eq.run();
+    EXPECT_TRUE(ran);
+    (void)id2;
+}
+
+TEST(EventQueue, SlotPoolStopsGrowingInSteadyState)
+{
+    EventQueue eq;
+    // A self-rescheduling chain keeps at most 2 events pending; the
+    // arena must reach its high-water mark and then stay flat.
+    int remaining = 10000;
+    std::function<void()> chain = [&] {
+        if (--remaining > 0) {
+            eq.scheduleIn(1, chain);
+            eq.scheduleIn(2, [] {});
+        }
+    };
+    eq.scheduleAt(0, chain);
+    for (int i = 0; i < 100; ++i)
+        eq.step();
+    std::size_t plateau = eq.poolSlots();
+    eq.run();
+    EXPECT_EQ(eq.poolSlots(), plateau);
+    EXPECT_EQ(remaining, 0);
+}
+
+TEST(EventQueue, FarFutureEventsInterleaveWithNearOnes)
+{
+    // Exercises the overflow area: delays far beyond the calendar window
+    // must still execute in global time order, FIFO within a tick.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(1000000, [&] { order.push_back(3); });
+    eq.scheduleAt(1000000, [&] { order.push_back(4); });
+    eq.scheduleAt(5, [&] {
+        order.push_back(1);
+        eq.scheduleAt(999999, [&] { order.push_back(2); });
+        eq.scheduleAt(1000001, [&] { order.push_back(5); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(eq.now(), 1000001u);
+}
+
+TEST(EventQueue, RunUntilBoundaryWithFarFutureEvents)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.scheduleAt(10, [&] { ++ran; });
+    eq.scheduleAt(100000, [&] { ++ran; });
+    EXPECT_EQ(eq.runUntil(50000), 10u); // now() stays at the last event
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(eq.now(), 100000u);
+}
+
+/**
+ * Randomized stress: interleaved schedule / cancel / reschedule checked
+ * against a reference model (an ordered multimap keyed by (tick, seq)).
+ * Execution order must match the model exactly — absolute-tick order,
+ * FIFO within a tick, cancelled events skipped — and event ids must stay
+ * single-use under heavy slot reuse.
+ */
+TEST(EventQueue, RandomizedStressMatchesReferenceModel)
+{
+    std::mt19937_64 rng(12345);
+    EventQueue eq;
+
+    struct Pending
+    {
+        EventQueue::EventId id;
+        std::uint64_t token;
+    };
+    std::vector<Pending> pending;               // cancellation candidates
+    std::map<std::pair<Tick, std::uint64_t>, std::uint64_t> model;
+    std::vector<std::uint64_t> executed;        // tokens, in executed order
+    std::uint64_t nextToken = 0, seq = 0;
+
+    auto scheduleOne = [&](Tick when) {
+        std::uint64_t token = nextToken++;
+        std::uint64_t s = seq++;
+        auto id = eq.scheduleAt(when, [&executed, token] {
+            executed.push_back(token);
+        });
+        model.emplace(std::make_pair(when, s), token);
+        pending.push_back({id, token});
+    };
+
+    for (int round = 0; round < 2000; ++round) {
+        unsigned action = rng() % 10;
+        if (action < 6) {
+            // Mix near, same-tick, and far-future (overflow) delays.
+            Tick delay = (rng() % 100 == 0) ? 5000 + rng() % 5000
+                                            : rng() % 300;
+            scheduleOne(eq.now() + delay);
+        } else if (action < 8 && !pending.empty()) {
+            std::size_t pick = rng() % pending.size();
+            Pending p = pending[pick];
+            pending.erase(pending.begin() + pick);
+            bool cancelled = eq.cancel(p.id);
+            if (cancelled) {
+                // Remove the single model entry carrying this token.
+                for (auto it = model.begin(); it != model.end(); ++it) {
+                    if (it->second == p.token) {
+                        model.erase(it);
+                        break;
+                    }
+                }
+                // Cancel must be single-shot even after slot reuse.
+                scheduleOne(eq.now() + rng() % 50); // likely reuses slot
+                EXPECT_FALSE(eq.cancel(p.id));
+            }
+        } else {
+            // Execute a few steps; each must match the model's front.
+            for (int k = 0; k < 3 && !model.empty(); ++k) {
+                std::size_t before = executed.size();
+                ASSERT_TRUE(eq.step());
+                ASSERT_EQ(executed.size(), before + 1);
+                EXPECT_EQ(executed.back(), model.begin()->second);
+                model.erase(model.begin());
+            }
+        }
+        ASSERT_EQ(eq.size(), model.size());
+    }
+
+    while (!model.empty()) {
+        ASSERT_TRUE(eq.step());
+        EXPECT_EQ(executed.back(), model.begin()->second);
+        model.erase(model.begin());
+    }
+    EXPECT_FALSE(eq.step());
+    EXPECT_TRUE(eq.empty());
 }
 
 } // namespace

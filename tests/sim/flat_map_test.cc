@@ -1,0 +1,261 @@
+/** @file Unit tests for the open-addressing FlatMap / FlatSet. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/flat_map.hh"
+
+namespace ltp
+{
+namespace
+{
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_FALSE(m.contains(42));
+    EXPECT_FALSE(m.erase(42));
+    EXPECT_EQ(m.begin(), m.end());
+}
+
+TEST(FlatMap, SubscriptInsertsAndFinds)
+{
+    FlatMap<std::uint64_t, int> m;
+    m[7] = 70;
+    m[9] = 90;
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(7), 70);
+    EXPECT_EQ(*m.find(9), 90);
+    m[7] = 71; // overwrite through subscript
+    EXPECT_EQ(*m.find(7), 71);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, SubscriptDefaultConstructs)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    EXPECT_EQ(m[5], 0u);
+    m[5] |= 8;
+    EXPECT_EQ(m[5], 8u);
+}
+
+TEST(FlatMap, InsertOverwrites)
+{
+    FlatMap<std::uint64_t, std::string> m;
+    m.insert(1, "one");
+    m.insert(1, "uno");
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(*m.find(1), "uno");
+}
+
+TEST(FlatMap, EraseRemovesAndReports)
+{
+    FlatMap<std::uint64_t, int> m;
+    m[1] = 10;
+    m[2] = 20;
+    EXPECT_TRUE(m.erase(1));
+    EXPECT_FALSE(m.erase(1));
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.find(1), nullptr);
+    EXPECT_EQ(*m.find(2), 20);
+}
+
+TEST(FlatMap, GrowthPreservesAllEntries)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    constexpr std::uint64_t n = 10000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        m[i * 32] = i; // block-aligned-style keys stress the hash mix
+    EXPECT_EQ(m.size(), n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ASSERT_NE(m.find(i * 32), nullptr) << i;
+        EXPECT_EQ(*m.find(i * 32), i);
+    }
+    EXPECT_EQ(m.find(13), nullptr);
+}
+
+/**
+ * Backward-shift deletion: erasing from the middle of a collision run
+ * must keep every remaining key reachable (no tombstone holes breaking
+ * linear probes).
+ */
+TEST(FlatMap, BackshiftKeepsCollisionRunsReachable)
+{
+    std::mt19937_64 rng(99);
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+
+    for (int round = 0; round < 30000; ++round) {
+        std::uint64_t key = (rng() % 512) * 32; // dense key space: collisions
+        if (rng() % 3 == 0) {
+            EXPECT_EQ(m.erase(key), ref.erase(key) > 0) << key;
+        } else {
+            std::uint64_t v = rng();
+            m.insert(key, v);
+            ref[key] = v;
+        }
+        ASSERT_EQ(m.size(), ref.size());
+    }
+    for (const auto &[k, v] : ref) {
+        ASSERT_NE(m.find(k), nullptr) << k;
+        EXPECT_EQ(*m.find(k), v);
+    }
+    for (std::uint64_t key = 0; key < 512 * 32; key += 32) {
+        if (!ref.count(key))
+            EXPECT_EQ(m.find(key), nullptr) << key;
+    }
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryExactlyOnce)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        m[i * 7] = i;
+    m.erase(7 * 3);
+    m.erase(7 * 999);
+
+    std::set<std::uint64_t> seen;
+    for (const auto &[k, v] : m) {
+        EXPECT_EQ(v, k / 7);
+        EXPECT_TRUE(seen.insert(k).second) << "duplicate " << k;
+    }
+    EXPECT_EQ(seen.size(), m.size());
+    EXPECT_EQ(seen.size(), 998u);
+}
+
+TEST(FlatMap, IterationCanMutateValues)
+{
+    FlatMap<std::uint64_t, int> m;
+    m[1] = 1;
+    m[2] = 2;
+    for (auto [k, v] : m)
+        v *= 10; // v is a reference
+    EXPECT_EQ(*m.find(1), 10);
+    EXPECT_EQ(*m.find(2), 20);
+}
+
+TEST(FlatMap, ClearKeepsCapacityDropsEntries)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        m[i] = int(i);
+    std::size_t cap = m.capacity();
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.find(50), nullptr);
+    m[3] = 33;
+    EXPECT_EQ(*m.find(3), 33);
+}
+
+TEST(FlatMap, ReserveAvoidsIntermediateRehash)
+{
+    FlatMap<std::uint64_t, int> m;
+    m.reserve(1000);
+    std::size_t cap = m.capacity();
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        m[i] = int(i);
+    EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatMap, NonTrivialValuesSurviveRehashAndErase)
+{
+    FlatMap<std::uint64_t, std::vector<std::string>> m;
+    for (std::uint64_t i = 0; i < 500; ++i)
+        m[i] = {std::to_string(i), "x", std::to_string(i * 2)};
+    for (std::uint64_t i = 0; i < 500; i += 2)
+        EXPECT_TRUE(m.erase(i));
+    for (std::uint64_t i = 1; i < 500; i += 2) {
+        ASSERT_NE(m.find(i), nullptr);
+        EXPECT_EQ((*m.find(i))[0], std::to_string(i));
+        EXPECT_EQ((*m.find(i))[2], std::to_string(i * 2));
+    }
+}
+
+TEST(FlatMap, MoveOnlyValues)
+{
+    FlatMap<std::uint64_t, std::unique_ptr<int>> m;
+    m.insert(1, std::make_unique<int>(11));
+    m[2] = std::make_unique<int>(22);
+    EXPECT_EQ(**m.find(1), 11);
+    EXPECT_EQ(**m.find(2), 22);
+    for (std::uint64_t i = 10; i < 200; ++i) // force rehashes
+        m[i] = std::make_unique<int>(int(i));
+    EXPECT_EQ(**m.find(1), 11);
+    EXPECT_TRUE(m.erase(1));
+    EXPECT_EQ(m.find(1), nullptr);
+}
+
+TEST(FlatMap, CopyAndMoveSemantics)
+{
+    FlatMap<std::uint64_t, int> a;
+    a[1] = 10;
+    a[2] = 20;
+
+    FlatMap<std::uint64_t, int> copy(a);
+    copy[3] = 30;
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(copy.size(), 3u);
+    EXPECT_EQ(*copy.find(1), 10);
+
+    FlatMap<std::uint64_t, int> moved(std::move(copy));
+    EXPECT_EQ(moved.size(), 3u);
+    EXPECT_EQ(*moved.find(3), 30);
+
+    a = moved;            // copy-assign
+    EXPECT_EQ(a.size(), 3u);
+    FlatMap<std::uint64_t, int> b;
+    b = std::move(moved); // move-assign
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_EQ(*b.find(2), 20);
+}
+
+TEST(FlatMap, NestedMapsRelocateSafely)
+{
+    // BlockState-style usage: a FlatMap value containing another FlatMap
+    // must survive the outer map's rehashes and backshifts.
+    FlatMap<std::uint64_t, FlatMap<std::uint32_t, int>> outer;
+    for (std::uint64_t i = 0; i < 200; ++i)
+        for (std::uint32_t j = 0; j < 4; ++j)
+            outer[i][j] = int(i * 10 + j);
+    for (std::uint64_t i = 0; i < 200; i += 3)
+        outer.erase(i);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        if (i % 3 == 0) {
+            EXPECT_EQ(outer.find(i), nullptr);
+        } else {
+            ASSERT_NE(outer.find(i), nullptr);
+            EXPECT_EQ(*outer.find(i)->find(2), int(i * 10 + 2));
+        }
+    }
+}
+
+TEST(FlatSet, InsertEraseContains)
+{
+    FlatSet<std::uint64_t> s;
+    EXPECT_TRUE(s.insert(5));
+    EXPECT_FALSE(s.insert(5)); // already present
+    EXPECT_TRUE(s.insert(6));
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.contains(5));
+    EXPECT_EQ(s.count(6), 1u);
+    EXPECT_EQ(s.count(7), 0u);
+    EXPECT_TRUE(s.erase(5));
+    EXPECT_FALSE(s.erase(5));
+    EXPECT_FALSE(s.contains(5));
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+} // namespace
+} // namespace ltp
