@@ -7,7 +7,12 @@
  * congestion-dependent, which is the knob that stresses self-invalidation
  * timeliness (Table 4) and speedup (Figure 9) under realistic networks.
  *
- *   $ ./bench_net_topology [kernel...]      (default: tomcatv em3d)
+ *   $ ./bench_net_topology [--routing R] [kernel...]
+ *                                          (default: dor, tomcatv em3d)
+ *
+ * --routing picks the routed topologies' policy (dor | adaptive |
+ * oblivious; p2p rows are unaffected); network-only routing studies live
+ * in bench_net_synthetic.
  *
  * Two tables per kernel:
  *  - base protocol: total cycles, messages, end-to-end latency
@@ -28,6 +33,8 @@ using namespace ltp;
 namespace
 {
 
+RoutingPolicy g_routing = RoutingPolicy::DimensionOrder;
+
 RunResult
 runCell(const std::string &kernel, NodeId nodes, TopologyKind topo,
         PredictorKind pred, PredictorMode mode)
@@ -38,6 +45,7 @@ runCell(const std::string &kernel, NodeId nodes, TopologyKind topo,
     spec.mode = mode;
     spec.nodes = nodes;
     spec.topology = topo;
+    spec.routing = g_routing;
     return runExperiment(spec);
 }
 
@@ -119,13 +127,22 @@ sweepKernel(const std::string &kernel)
 int
 main(int argc, char **argv)
 {
-    bench::printSystemBanner();
-    std::printf("# topology sweep: per-hop latency/occupancy and per-link "
-                "contention (see src/net/README.md)\n");
-
     std::vector<std::string> kernels;
-    for (int i = 1; i < argc; ++i)
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--routing" && i + 1 < argc) {
+            auto parsed = parseRoutingPolicy(argv[++i]);
+            if (!parsed) {
+                std::fprintf(stderr,
+                             "unknown routing policy '%s'; choose one of: "
+                             "dor adaptive oblivious\n",
+                             argv[i]);
+                return 1;
+            }
+            g_routing = *parsed;
+            continue;
+        }
         kernels.push_back(argv[i]);
+    }
     if (kernels.empty())
         kernels = {"tomcatv", "em3d"};
 
@@ -139,6 +156,11 @@ main(int argc, char **argv)
             return 1;
         }
     }
+
+    bench::printSystemBanner();
+    std::printf("# topology sweep: per-hop latency/serialization and "
+                "per-link contention, routing=%s (see src/net/README.md)\n",
+                routingPolicyName(g_routing));
 
     for (const auto &kernel : kernels)
         sweepKernel(kernel);

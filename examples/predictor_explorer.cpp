@@ -3,12 +3,13 @@
  * Predictor design-space explorer: sweep predictor organizations and
  * signature widths over one benchmark from the command line.
  *
- *   $ ./example_predictor_explorer [kernel] [topology]
+ *   $ ./example_predictor_explorer [kernel] [topology] [routing]
  *
  * Defaults: tomcatv on the paper's point-to-point network. Topology is
- * one of p2p | mesh | torus | ring (see src/net/README.md), so the
- * accuracy study can be reproduced under hop- and congestion-dependent
- * network latency.
+ * one of p2p | mesh | torus | ring and routing one of
+ * dor | adaptive | oblivious (see src/net/README.md), so the accuracy
+ * study can be reproduced under hop- and congestion-dependent network
+ * latency and any routing policy.
  *
  * Prints an accuracy/storage matrix — the kind of study Sections 5.2
  * and 5.3 of the paper run — for the chosen workload.
@@ -50,10 +51,24 @@ main(int argc, char **argv)
         topology = *parsed;
     }
 
-    std::printf("predictor design space on '%s' (%s), topology=%s\n",
+    RoutingPolicy routing = RoutingPolicy::DimensionOrder;
+    if (argc > 3) {
+        auto parsed = parseRoutingPolicy(argv[3]);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "unknown routing policy '%s'; choose one of: dor "
+                         "adaptive oblivious\n",
+                         argv[3]);
+            return 1;
+        }
+        routing = *parsed;
+    }
+
+    std::printf("predictor design space on '%s' (%s), topology=%s, "
+                "routing=%s\n",
                 kernel.c_str(),
                 describeConfig(kernel, defaultConfig(kernel)).c_str(),
-                topologyKindName(topology));
+                topologyKindName(topology), routingPolicyName(routing));
     std::printf("%-12s %6s %10s %10s %10s %10s\n", "organization",
                 "bits", "pred%", "mispred%", "ent/blk", "bytes/blk");
 
@@ -81,6 +96,7 @@ main(int argc, char **argv)
         spec.mode = PredictorMode::Passive;
         spec.sigBits = row.bits ? row.bits : 30;
         spec.topology = topology;
+        spec.routing = routing;
         RunResult r = runExperiment(spec);
         std::printf("%-12s %6u %10.1f %10.1f", row.label, row.bits,
                     100 * r.accuracy(), 100 * r.mispredictionRate());

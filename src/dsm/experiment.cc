@@ -12,10 +12,12 @@ runExperiment(const ExperimentSpec &spec)
                                                   spec.mode, spec.sigBits);
     if (spec.nodes)
         sp.numNodes = *spec.nodes;
-    if (spec.net)
+    if (spec.net) {
         sp.net = *spec.net;
-    else
+    } else {
         sp.net.topology = spec.topology;
+        sp.net.routing = spec.routing;
+    }
 
     KernelConfig cfg =
         spec.config ? *spec.config : defaultConfig(spec.kernel);

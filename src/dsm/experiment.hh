@@ -32,7 +32,11 @@ struct ExperimentSpec
     std::optional<NodeId> nodes;        //!< overrides 32
     /** Interconnect topology (paper's point-to-point by default). */
     TopologyKind topology = TopologyKind::PointToPoint;
-    /** Full network-knob override (wins over `topology` when set). */
+    /** Routing policy for routed topologies (ignored by p2p). Safe under
+     *  the protocol for all policies: the routed network restores
+     *  pairwise FIFO delivery with an ingress reorder buffer. */
+    RoutingPolicy routing = RoutingPolicy::DimensionOrder;
+    /** Full network-knob override (wins over `topology`/`routing`). */
     std::optional<NetworkParams> net;
 };
 

@@ -40,7 +40,9 @@ struct SystemParams
     DirParams dir;       //!< 104-cycle memory, two-stage pipelined engine
     /** Interconnect model. Defaults to the paper's point-to-point network
      *  (80-cycle flight latency, NI contention); set net.topology to
-     *  Mesh2D/Torus2D/Ring for hop- and congestion-dependent latency. */
+     *  Mesh2D/Torus2D/Ring for hop- and congestion-dependent latency,
+     *  net.routing/vcDepth for adaptive routing and finite-buffer
+     *  backpressure (see src/net/README.md). */
     NetworkParams net;
 
     Tick barrierLatency = 200;

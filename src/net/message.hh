@@ -83,12 +83,21 @@ struct Message
     Addr addr = 0;
     /** Original requester (meaningful on Inv/WbReq fan-out). */
     NodeId requester = invalidNode;
+    /** Per-(src, dst) injection sequence — a network-layer stamp written
+     *  by the routed interconnect's ingress reorder buffer and opaque to
+     *  the protocol (the p2p model leaves it zero). Sits in the padding
+     *  after `requester` so messages stay 56 bytes. */
+    std::uint32_t netSeq = 0;
     /** DSI write-version number (on data replies and requests). */
     std::uint64_t version = 0;
     /** DSI: reply marks the block as a self-invalidation candidate. */
     bool dsiCandidate = false;
     /** Verification feedback for the requester's predictor. */
     Verification verification = Verification::None;
+    /** Dateline bits (network-layer stamp, like netSeq): bit d set once
+     *  the message crossed dimension d's wrap link, switching its escape
+     *  virtual channel. */
+    std::uint8_t netVcFlags = 0;
     /** Tick at which the sender injected the message (for latency stats). */
     Tick injectedAt = 0;
 

@@ -40,7 +40,8 @@ struct NetworkParams
 
     // Topology-aware knobs (ignored by the point-to-point model).
     // Calibrated so one unloaded routed hop costs a control message
-    //   linkControlOccupancy + hopLatency + routerLatency = 80 cycles,
+    //   headerBytes / linkBandwidth + hopLatency + routerLatency
+    //     = 16/4 + 68 + 8 = 80 cycles,
     // exactly the paper's point-to-point flight latency: adjacent-node
     // control traffic times identically under p2p and routed models, and
     // topology runs differ only through hop count and congestion.
@@ -48,9 +49,34 @@ struct NetworkParams
     unsigned meshWidth = 0;  //!< X extent of mesh/torus; 0 = most-square
     Tick hopLatency = 68;    //!< per-hop wire flight (cycles)
     Tick routerLatency = 8;  //!< per-hop routing/pipeline delay (cycles)
-    Tick linkControlOccupancy = 4; //!< link serialization, header-only msg
-    Tick linkDataOccupancy = 12;   //!< link serialization, data msg
+
+    // Link bandwidth in bytes/cycle: a message serializes onto a link for
+    // ceil(messageBytes / linkBandwidth) cycles, where messageBytes is
+    // headerBytes plus blockBytes when the message carries a cache block.
+    unsigned linkBandwidth = 4; //!< link bandwidth (bytes/cycle)
+    unsigned headerBytes = 16;  //!< wire size of a header-only message
+    unsigned blockBytes = 32;   //!< payload of a data-carrying message
+
+    // Router microarchitecture. vcDepth 0 models unbounded input buffers
+    // (no backpressure) and, with DimensionOrder routing, reproduces the
+    // original per-link FIFO model tick for tick. A non-zero depth turns
+    // on credit-based backpressure: a message only starts serializing
+    // when the downstream (link, VC) input buffer has a free slot, so
+    // congestion stalls senders instead of growing queues without bound.
+    RoutingPolicy routing = RoutingPolicy::DimensionOrder;
+    unsigned vcCount = 0; //!< virtual channels per link; 0 = auto
+                          //!< (escape VCs + 1 adaptive VC when needed)
+    unsigned vcDepth = 0; //!< input-buffer slots per (link, VC); 0 = inf
 };
+
+/**
+ * Validate @p params for a system of @p num_nodes, throwing
+ * std::invalid_argument with a descriptive message on bad combinations
+ * (non-dividing meshWidth, zero link bandwidth, too few VCs for the
+ * topology/routing). makeInterconnect() calls this; CLIs may call it
+ * early to fail before a long run starts.
+ */
+void validateNetworkParams(const NetworkParams &params, NodeId num_nodes);
 
 /**
  * Abstract message transport between DSM nodes.

@@ -1,5 +1,6 @@
 #include "net/topo/routed_network.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
@@ -23,11 +24,24 @@ RoutedNetwork::RoutedNetwork(EventQueue &eq, NodeId num_nodes,
     : NiInterconnect(eq, num_nodes, params, stats),
       geom_(params.topology, num_nodes, params.meshWidth),
       linkIdx_(std::size_t(num_nodes) * num_nodes, -1),
+      sendSeq_(std::size_t(num_nodes) * num_nodes, 0),
+      pairs_(std::size_t(num_nodes) * num_nodes),
+      rng_(0x0B11'0B11'0B11'0B11ull),
       hops_(stats.counter("net.hops")),
-      hopsPerMsg_(stats.average("net.hopsPerMsg"))
+      hopsPerMsg_(stats.average("net.hopsPerMsg")),
+      escapeReroutes_(stats.counter("net.escapeReroutes")),
+      reorderHeld_(stats.counter("net.reorderHeld"))
 {
     assert(params_.topology != TopologyKind::PointToPoint &&
            "use Network for the point-to-point model");
+
+    escapeVcs_ = geom_.wraps() ? 2 : 1;
+    unsigned auto_vcs =
+        escapeVcs_ +
+        (params_.routing == RoutingPolicy::DimensionOrder ? 0 : 1);
+    numVcs_ = params_.vcCount ? params_.vcCount : auto_vcs;
+    assert(numVcs_ >= auto_vcs && "validateNetworkParams missed");
+
     for (NodeId from = 0; from < num_nodes; ++from) {
         for (NodeId to : geom_.neighbors(from)) {
             linkIdx_[std::size_t(from) * num_nodes + to] =
@@ -35,6 +49,10 @@ RoutedNetwork::RoutedNetwork(EventQueue &eq, NodeId num_nodes,
             Link link;
             link.from = from;
             link.to = to;
+            link.dim = std::uint8_t(geom_.linkDim(from, to));
+            link.wrap = geom_.isWrapLink(from, to);
+            if (bounded())
+                link.credits.assign(numVcs_, params_.vcDepth);
             link.msgs = &stats.counter(linkStatName("linkMsgs", from, to));
             link.busyCycles =
                 &stats.counter(linkStatName("linkBusy", from, to));
@@ -49,58 +67,234 @@ RoutedNetwork::linkIndex(NodeId from, NodeId to) const
     return linkIdx_[std::size_t(from) * numNodes() + to];
 }
 
+std::uint8_t
+RoutedNetwork::escapeVc(NodeId at, NodeId next, const Message &msg) const
+{
+    if (escapeVcs_ < 2)
+        return 0;
+    unsigned dim = geom_.linkDim(at, next);
+    return (msg.netVcFlags & (1u << dim)) ? 1 : 0;
+}
+
+std::uint8_t
+RoutedNetwork::adaptiveVc(const Link &link) const
+{
+    assert(numVcs_ > escapeVcs_);
+    if (!bounded() || numVcs_ == escapeVcs_ + 1)
+        return std::uint8_t(escapeVcs_);
+    // Several adaptive VCs: pick the emptiest downstream buffer.
+    unsigned best = escapeVcs_;
+    for (unsigned vc = escapeVcs_ + 1; vc < numVcs_; ++vc)
+        if (link.credits[vc] > link.credits[best])
+            best = vc;
+    return std::uint8_t(best);
+}
+
+std::size_t
+RoutedNetwork::congestion(std::size_t l) const
+{
+    const Link &link = links_[l];
+    std::size_t score = link.q.size() + (link.busy ? 1 : 0);
+    if (bounded()) {
+        // Count the filled downstream slots too: a drained queue whose
+        // buffers are full is still a poor choice.
+        for (unsigned vc = 0; vc < numVcs_; ++vc)
+            score += params_.vcDepth - link.credits[vc];
+    }
+    return score;
+}
+
 void
 RoutedNetwork::send(Message msg)
 {
     if (injectLocalOrCount(msg))
         return;
 
-    eq_.scheduleAt(egressDone(msg), [this, msg] { forward(msg.src, msg); });
+    msg.netSeq = sendSeq_[pairKey(msg.src, msg.dst)]++;
+    msg.netVcFlags = 0;
+    eq_.scheduleAt(egressDone(msg),
+                   [this, msg] { forward(msg.src, msg, -1, 0); });
 }
 
 void
-RoutedNetwork::forward(NodeId at, Message msg)
+RoutedNetwork::forward(NodeId at, Message msg, std::int32_t in_link,
+                       std::uint8_t in_vc)
 {
-    NodeId next = geom_.nextHop(at, msg.dst);
-    int l = linkIndex(at, next);
-    assert(l >= 0 && "route must follow physical links");
-    links_[std::size_t(l)].q.push_back(msg);
-    if (!links_[std::size_t(l)].busy)
-        drainLink(std::size_t(l));
+    std::size_t l;
+    std::uint8_t vc;
+    if (params_.routing == RoutingPolicy::DimensionOrder) {
+        NodeId next = geom_.nextHop(at, msg.dst);
+        l = routeLink(at, next);
+        vc = escapeVc(at, next, msg);
+    } else {
+        NodeId cands[2];
+        unsigned n = geom_.productiveHopsInto(at, msg.dst, cands);
+        unsigned pick = 0;
+        if (n > 1) {
+            if (params_.routing == RoutingPolicy::Oblivious) {
+                pick = unsigned(rng_.below(n));
+            } else if (congestion(routeLink(at, cands[1])) <
+                       congestion(routeLink(at, cands[0]))) {
+                // Minimal-adaptive: the less congested productive port;
+                // ties go to the dimension-order choice (element 0).
+                pick = 1;
+            }
+        }
+        l = routeLink(at, cands[pick]);
+        vc = adaptiveVc(links_[l]);
+    }
+    enqueue(l, Entry{msg, vc, in_link, in_vc});
+}
+
+void
+RoutedNetwork::enqueue(std::size_t l, Entry e)
+{
+    Link &link = links_[l];
+    link.q.push_back(std::move(e));
+    if (!link.busy && !link.draining)
+        drainLink(l);
 }
 
 void
 RoutedNetwork::drainLink(std::size_t l)
 {
     Link &link = links_[l];
-    if (link.q.empty()) {
-        link.busy = false;
+    if (link.busy || link.draining)
         return;
-    }
-    link.busy = true;
-    Message msg = link.q.front();
-    link.q.pop_front();
+    link.draining = true;
 
-    // Serialize on the link, then fly one hop and clear the next router's
-    // pipeline. Departures from a FIFO link are in queue order, and the
-    // downstream delay is constant, so per-link FIFO order is preserved
-    // end to end along the (deterministic) route.
-    Tick occ = linkOccupancy(msg);
+    for (;;) {
+        // Grant the first request whose VC has a free downstream slot.
+        // Later entries of *other* VCs may overtake a blocked head (that
+        // is what virtual channels are for); same-VC order is preserved
+        // because the scan always reaches the earlier entry first.
+        for (std::size_t i = 0; i < link.q.size(); ++i) {
+            if (hasCredit(link, link.q[i].vc)) {
+                Entry e = std::move(link.q[i]);
+                link.q.erase(link.q.begin() +
+                             std::deque<Entry>::difference_type(i));
+                link.draining = false;
+                grant(l, std::move(e));
+                return;
+            }
+        }
+
+        // Nothing can move. Duato-style escape: hand the oldest blocked
+        // adaptive request over to the deadlock-free dimension-order
+        // path, then rescan (in-place downgrades may now be grantable).
+        std::size_t blocked = link.q.size();
+        for (std::size_t i = 0; i < link.q.size(); ++i) {
+            if (isAdaptiveVc(link.q[i].vc)) {
+                blocked = i;
+                break;
+            }
+        }
+        if (blocked == link.q.size())
+            break; // only escape traffic left; credits will re-kick us
+
+        Entry e = std::move(link.q[blocked]);
+        link.q.erase(link.q.begin() +
+                     std::deque<Entry>::difference_type(blocked));
+        escapeReroutes_.inc();
+        NodeId dor = geom_.nextHop(link.from, e.msg.dst);
+        e.vc = escapeVc(link.from, dor, e.msg);
+        std::size_t el = routeLink(link.from, dor);
+        if (el == l)
+            link.q.insert(link.q.begin() +
+                              std::deque<Entry>::difference_type(blocked),
+                          std::move(e));
+        else
+            enqueue(el, std::move(e));
+    }
+
+    link.draining = false;
+}
+
+void
+RoutedNetwork::grant(std::size_t l, Entry e)
+{
+    Link &link = links_[l];
+    link.busy = true;
+    if (bounded()) {
+        --link.credits[e.vc];
+        // The upstream input-buffer slot frees as the message leaves it;
+        // its credit flies back over the wire.
+        if (e.inLink >= 0)
+            scheduleCreditReturn(std::size_t(e.inLink), e.inVc);
+    }
+
+    Tick ser = serializationTicks(e.msg);
     link.msgs->inc();
-    link.busyCycles->inc(occ);
+    link.busyCycles->inc(ser);
     hops_.inc();
 
-    Tick done = eq_.now() + occ;
-    eq_.scheduleAt(done, [this, l] { drainLink(l); });
+    Message msg = e.msg;
+    if (link.wrap)
+        msg.netVcFlags |= std::uint8_t(1u << link.dim);
+
+    // Serialize on the link, then fly one hop and clear the next router's
+    // pipeline. Departures from a link are credit-gated but same-VC FIFO,
+    // and the downstream delay is constant, so per-(src, dst) order is
+    // preserved along any deterministic route.
+    Tick done = eq_.now() + ser;
+    eq_.scheduleAt(done, [this, l] {
+        links_[l].busy = false;
+        drainLink(l);
+    });
 
     Tick arrive = done + params_.hopLatency + params_.routerLatency;
-    NodeId to = link.to;
-    eq_.scheduleAt(arrive, [this, to, msg] {
-        if (to == msg.dst)
-            arriveAtIngress(msg);
-        else
-            forward(to, msg);
+    std::uint8_t vc = e.vc;
+    eq_.scheduleAt(arrive,
+                   [this, l, vc, msg] { arriveAtRouter(l, vc, msg); });
+}
+
+void
+RoutedNetwork::scheduleCreditReturn(std::size_t l, std::uint8_t vc)
+{
+    eq_.scheduleAt(eq_.now() + params_.hopLatency, [this, l, vc] {
+        Link &link = links_[l];
+        ++link.credits[vc];
+        assert(link.credits[vc] <= params_.vcDepth &&
+               "credit conservation violated");
+        if (!link.busy)
+            drainLink(l);
     });
+}
+
+void
+RoutedNetwork::arriveAtRouter(std::size_t l, std::uint8_t vc, Message msg)
+{
+    NodeId at = links_[l].to;
+    if (at == msg.dst) {
+        // Ejection is always available, so the input-buffer slot frees
+        // immediately.
+        if (bounded())
+            scheduleCreditReturn(l, vc);
+        reorderDeliver(msg);
+        return;
+    }
+    forward(at, msg, std::int32_t(l), vc);
+}
+
+void
+RoutedNetwork::reorderDeliver(const Message &msg)
+{
+    PairState &ps = pairs_[pairKey(msg.src, msg.dst)];
+    if (msg.netSeq != ps.nextSeq) {
+        // An earlier injection of this pair is still in flight (adaptive
+        // or oblivious routing took a different path); park this one.
+        reorderHeld_.inc();
+        ps.pending.emplace(msg.netSeq, msg);
+        return;
+    }
+    arriveAtIngress(msg);
+    ++ps.nextSeq;
+    for (auto it = ps.pending.find(ps.nextSeq); it != ps.pending.end();
+         it = ps.pending.find(ps.nextSeq)) {
+        arriveAtIngress(it->second);
+        ps.pending.erase(it);
+        ++ps.nextSeq;
+    }
 }
 
 void

@@ -1,40 +1,64 @@
 /**
  * @file
- * Topology-aware interconnect: mesh / torus / ring with per-link
- * contention.
+ * Topology-aware interconnect: mesh / torus / ring with a virtual-channel
+ * router pipeline, credit-based backpressure, and pluggable routing.
  *
  * A message's life:
  *
  *   egress NI (FIFO, controlOccupancy/dataOccupancy)
- *     -> [ link (FIFO, linkControlOccupancy/linkDataOccupancy)
- *          -> wire (hopLatency) -> router (routerLatency) ] x hops
- *     -> ingress NI (FIFO, controlOccupancy/dataOccupancy) -> sink
+ *     -> [ VC allocation + link serialization (messageBytes /
+ *          linkBandwidth cycles) -> wire (hopLatency) -> router
+ *          (routerLatency) ] x hops
+ *     -> ingress reorder buffer -> ingress NI -> sink
  *
- * Each directed link is a FIFO server: one message serializes at a time
- * and waiters queue, so latency grows with both hop count and congestion.
- * Routing is deterministic (dimension-order / shortest ring direction,
- * see TopologyGeometry), which — together with FIFO links — preserves
- * the pairwise (src, dst) delivery-order invariant.
+ * Each directed link serializes one message at a time; waiting messages
+ * sit in the upstream router's input buffers, modeled per (link, VC).
+ * With a finite vcDepth a message only starts serializing when the
+ * downstream (link, VC) buffer has a free slot (a credit), so congestion
+ * propagates backpressure upstream instead of growing queues without
+ * bound; the credit travels back over the wire (hopLatency) when the
+ * slot frees.
+ *
+ * Virtual channels double as the deadlock-avoidance mechanism:
+ *  - escape VCs (VC0, plus VC1 on wrap topologies under the dateline
+ *    rule) carry dimension-order traffic, which is deadlock-free;
+ *  - adaptive/oblivious traffic rides the remaining VCs and, when its
+ *    chosen port is credit-blocked while the link sits idle, falls back
+ *    onto the escape path (Duato-style), so forward progress never
+ *    depends on a cyclic buffer dependency.
+ *
+ * Adaptive and oblivious routing can reorder a (src, dst) pair's
+ * messages in flight; a per-pair sequence number stamped at injection
+ * and an ingress reorder buffer restore the pairwise FIFO delivery
+ * order the coherence protocol relies on. Dimension-order routing never
+ * reorders, so the reorder buffer is a pure pass-through there — with
+ * the default unbounded buffers that configuration is tick-for-tick
+ * identical to the original per-link FIFO model.
  *
  * Per-link utilization is exported as `net.linkBusy.<from>-<to>` (busy
- * cycles) and `net.linkMsgs.<from>-<to>`; the NI model and latency
- * statistics are shared with the point-to-point network (see
- * net/ni_interconnect.hh).
+ * cycles) and `net.linkMsgs.<from>-<to>`; `net.escapeReroutes` counts
+ * adaptive messages that fell back to the escape path and
+ * `net.reorderHeld` messages parked in the ingress reorder buffer. The
+ * NI model and latency statistics are shared with the point-to-point
+ * network (see net/ni_interconnect.hh).
  */
 
 #ifndef LTP_NET_TOPO_ROUTED_NETWORK_HH
 #define LTP_NET_TOPO_ROUTED_NETWORK_HH
 
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <vector>
 
 #include "net/ni_interconnect.hh"
 #include "net/topo/topology.hh"
+#include "sim/rng.hh"
 
 namespace ltp
 {
 
-/** Mesh/torus/ring interconnect with FIFO routers and links. */
+/** Mesh/torus/ring interconnect with VC routers and credited links. */
 class RoutedNetwork : public NiInterconnect
 {
   public:
@@ -48,41 +72,133 @@ class RoutedNetwork : public NiInterconnect
     const TopologyGeometry &geometry() const { return geom_; }
     std::size_t numLinks() const { return links_.size(); }
 
+    /** Total virtual channels per link (escape + adaptive). */
+    unsigned numVcs() const { return numVcs_; }
+    /** Leading VCs reserved for deadlock-free dimension-order traffic. */
+    unsigned numEscapeVcs() const { return escapeVcs_; }
+    /** True when vcDepth is finite, i.e. credits gate transmission. */
+    bool bounded() const { return params_.vcDepth > 0; }
+
+    /**
+     * Free downstream input-buffer slots of (link @p l, VC @p vc); equals
+     * vcDepth whenever the buffer is idle. @pre bounded().
+     */
+    unsigned creditsAvailable(std::size_t l, unsigned vc) const
+    {
+        return links_[l].credits[vc];
+    }
+
+    /** Wire size of @p m: headerBytes (+ blockBytes when data). */
+    unsigned messageBytes(const Message &m) const
+    {
+        return params_.headerBytes +
+               (carriesData(m.type) ? params_.blockBytes : 0);
+    }
+
+    /** Link serialization delay: ceil(messageBytes / linkBandwidth). */
+    Tick serializationTicks(const Message &m) const
+    {
+        return (messageBytes(m) + params_.linkBandwidth - 1) /
+               params_.linkBandwidth;
+    }
+
   private:
+    /** A message waiting in an input buffer for one output link. */
+    struct Entry
+    {
+        Message msg;
+        std::uint8_t vc = 0;     //!< VC requested on this output link
+        std::int32_t inLink = -1; //!< upstream link whose buffer holds the
+                                  //!< message (-1: injection queue)
+        std::uint8_t inVc = 0;
+    };
+
     /** One directed physical channel between adjacent routers. */
     struct Link
     {
         NodeId from = invalidNode;
         NodeId to = invalidNode;
-        std::deque<Message> q;
-        bool busy = false;
+        std::uint8_t dim = 0; //!< 0 = X, 1 = Y
+        bool wrap = false;    //!< crosses the torus/ring dateline
+        std::deque<Entry> q;  //!< waiting messages, request order
+        bool busy = false;    //!< serializing a message right now
+        bool draining = false; //!< re-entrancy guard for drainLink()
+        /** Free slots in the downstream input buffer, per VC. */
+        std::vector<unsigned> credits;
         Counter *msgs = nullptr;
         Counter *busyCycles = nullptr;
     };
 
-    Tick linkOccupancy(const Message &m) const
+    /** Per-(src, dst) ingress reordering state. */
+    struct PairState
     {
-        return carriesData(m.type) ? params_.linkDataOccupancy
-                                   : params_.linkControlOccupancy;
-    }
+        std::uint32_t nextSeq = 0;
+        std::map<std::uint32_t, Message> pending;
+    };
 
     int linkIndex(NodeId from, NodeId to) const;
+    /** linkIndex() for a hop the route computed: must be physical. */
+    std::size_t routeLink(NodeId from, NodeId to) const
+    {
+        int l = linkIndex(from, to);
+        assert(l >= 0 && "route must follow physical links");
+        return std::size_t(l);
+    }
+    std::size_t pairKey(NodeId src, NodeId dst) const
+    {
+        return std::size_t(src) * numNodes() + dst;
+    }
 
-    /** Route @p msg (now at router @p at) onto its next link. */
-    void forward(NodeId at, Message msg);
+    bool isAdaptiveVc(unsigned vc) const { return vc >= escapeVcs_; }
+    bool hasCredit(const Link &link, unsigned vc) const
+    {
+        return !bounded() || link.credits[vc] > 0;
+    }
+
+    /** Escape VC of @p msg for the hop @p at -> @p next (dateline rule). */
+    std::uint8_t escapeVc(NodeId at, NodeId next, const Message &msg) const;
+    /** Adaptive VC with the most free downstream slots on link @p l. */
+    std::uint8_t adaptiveVc(const Link &link) const;
+    /** Congestion score of the output link @p l (queue + buffer fill). */
+    std::size_t congestion(std::size_t l) const;
+
+    /** Route @p msg (now at router @p at) onto its next output link. */
+    void forward(NodeId at, Message msg, std::int32_t in_link,
+                 std::uint8_t in_vc);
+    void enqueue(std::size_t l, Entry e);
+    /** Arbitration: grant the next credited message, else escape-reroute
+     *  a blocked adaptive one. */
     void drainLink(std::size_t l);
+    void grant(std::size_t l, Entry e);
+    /** The wire-delayed credit for one freed (link, VC) buffer slot. */
+    void scheduleCreditReturn(std::size_t l, std::uint8_t vc);
+    void arriveAtRouter(std::size_t l, std::uint8_t vc, Message msg);
+    /** Pairwise-FIFO restoration in front of the ingress NI. */
+    void reorderDeliver(const Message &msg);
 
     /** Adds the route-length sample to the shared delivery stats. */
     void deliver(const Message &msg) override;
 
     TopologyGeometry geom_;
+    unsigned numVcs_ = 1;
+    unsigned escapeVcs_ = 1;
 
     std::vector<Link> links_;
     /** Dense (from * n + to) -> link index map; -1 when not adjacent. */
     std::vector<int> linkIdx_;
 
+    /** Per-(src, dst) next injection sequence number. */
+    std::vector<std::uint32_t> sendSeq_;
+    /** Per-(src, dst) ingress reorder buffers. */
+    std::vector<PairState> pairs_;
+
+    /** Oblivious-routing coin flips (fixed seed: runs are repeatable). */
+    Rng rng_;
+
     Counter &hops_;
     Average &hopsPerMsg_;
+    Counter &escapeReroutes_;
+    Counter &reorderHeld_;
 };
 
 } // namespace ltp

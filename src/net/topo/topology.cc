@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cctype>
+#include <stdexcept>
 
 namespace ltp
 {
@@ -49,6 +50,44 @@ allTopologyKinds()
     return kinds;
 }
 
+const char *
+routingPolicyName(RoutingPolicy p)
+{
+    switch (p) {
+      case RoutingPolicy::DimensionOrder: return "dor";
+      case RoutingPolicy::MinimalAdaptive: return "adaptive";
+      case RoutingPolicy::Oblivious: return "oblivious";
+    }
+    return "?";
+}
+
+std::optional<RoutingPolicy>
+parseRoutingPolicy(const std::string &name)
+{
+    std::string s;
+    for (char c : name)
+        s += char(std::tolower(static_cast<unsigned char>(c)));
+    if (s == "dor" || s == "xy" || s == "dimension-order" ||
+        s == "deterministic")
+        return RoutingPolicy::DimensionOrder;
+    if (s == "adaptive" || s == "minimal-adaptive" || s == "min-adaptive")
+        return RoutingPolicy::MinimalAdaptive;
+    if (s == "oblivious" || s == "random" || s == "randomized-oblivious")
+        return RoutingPolicy::Oblivious;
+    return std::nullopt;
+}
+
+const std::vector<RoutingPolicy> &
+allRoutingPolicies()
+{
+    static const std::vector<RoutingPolicy> policies = {
+        RoutingPolicy::DimensionOrder,
+        RoutingPolicy::MinimalAdaptive,
+        RoutingPolicy::Oblivious,
+    };
+    return policies;
+}
+
 TopologyGeometry::TopologyGeometry(TopologyKind kind, NodeId num_nodes,
                                    unsigned mesh_width)
     : kind_(kind), n_(num_nodes)
@@ -65,15 +104,20 @@ TopologyGeometry::TopologyGeometry(TopologyKind kind, NodeId num_nodes,
         break;
       case TopologyKind::Mesh2D:
       case TopologyKind::Torus2D:
-        if (mesh_width >= 1 && mesh_width <= n_ && n_ % mesh_width == 0) {
-            width_ = mesh_width;
-        } else {
+        if (mesh_width == 0) {
             // Most-square factorization: largest divisor <= sqrt(n).
             unsigned w = 1;
             for (unsigned c = 1; c * c <= n_; ++c)
                 if (n_ % c == 0)
                     w = c;
             width_ = w;
+        } else if (mesh_width <= n_ && n_ % mesh_width == 0) {
+            width_ = mesh_width;
+        } else {
+            throw std::invalid_argument(
+                "meshWidth " + std::to_string(mesh_width) +
+                " does not divide the node count " + std::to_string(n_) +
+                " (use 0 for the most-square factorization)");
         }
         height_ = n_ / width_;
         break;
@@ -131,6 +175,60 @@ TopologyGeometry::nextHop(NodeId cur, NodeId dst) const
     if (c.x != d.x)
         return idOf(Coord{axisStep(c.x, d.x, width_), c.y});
     return idOf(Coord{c.x, axisStep(c.y, d.y, height_)});
+}
+
+std::vector<NodeId>
+TopologyGeometry::productiveHops(NodeId cur, NodeId dst) const
+{
+    NodeId hops[2];
+    unsigned n = productiveHopsInto(cur, dst, hops);
+    return std::vector<NodeId>(hops, hops + n);
+}
+
+unsigned
+TopologyGeometry::productiveHopsInto(NodeId cur, NodeId dst,
+                                     NodeId (&out)[2]) const
+{
+    assert(cur != dst && cur < n_ && dst < n_);
+    if (kind_ == TopologyKind::PointToPoint) {
+        out[0] = dst;
+        return 1;
+    }
+
+    // axisStep() already pins wrap-distance ties toward the increasing
+    // coordinate, so each unresolved dimension contributes exactly one
+    // candidate and routes stay deterministic per (cur, dst) pair.
+    Coord c = coordOf(cur);
+    Coord d = coordOf(dst);
+    unsigned n = 0;
+    if (c.x != d.x)
+        out[n++] = idOf(Coord{axisStep(c.x, d.x, width_), c.y});
+    if (c.y != d.y)
+        out[n++] = idOf(Coord{c.x, axisStep(c.y, d.y, height_)});
+    return n;
+}
+
+unsigned
+TopologyGeometry::linkDim(NodeId from, NodeId to) const
+{
+    assert(from < n_ && to < n_ && from != to);
+    Coord f = coordOf(from);
+    Coord t = coordOf(to);
+    assert((f.x != t.x) != (f.y != t.y) && "not a physical link");
+    return f.x != t.x ? 0 : 1;
+}
+
+bool
+TopologyGeometry::isWrapLink(NodeId from, NodeId to) const
+{
+    if (!wraps())
+        return false;
+    Coord f = coordOf(from);
+    Coord t = coordOf(to);
+    // Adjacent coordinates differ by 1 except across the wrap seam.
+    unsigned df = f.x > t.x ? f.x - t.x : t.x - f.x;
+    unsigned dh = f.y > t.y ? f.y - t.y : t.y - f.y;
+    return df > 1 || dh > 1;
 }
 
 unsigned

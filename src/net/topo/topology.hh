@@ -48,6 +48,31 @@ std::optional<TopologyKind> parseTopologyKind(const std::string &name);
 /** All kinds, in declaration order (sweep helpers). */
 const std::vector<TopologyKind> &allTopologyKinds();
 
+/**
+ * How a router picks among the minimal (productive) output ports.
+ *
+ * DimensionOrder is the deterministic baseline every DSM run defaults
+ * to. The other two add path diversity on 2D topologies; the routed
+ * network restores pairwise (src, dst) delivery order behind them with
+ * a sequence-numbered ingress reorder buffer, so all three are safe
+ * under the coherence protocol.
+ */
+enum class RoutingPolicy
+{
+    DimensionOrder,  //!< X fully, then Y (deterministic; default)
+    MinimalAdaptive, //!< least-congested productive port, DOR escape
+    Oblivious,       //!< uniformly random productive port, DOR escape
+};
+
+/** Short stable name ("dor", "adaptive", "oblivious"). */
+const char *routingPolicyName(RoutingPolicy p);
+
+/** Parse a CLI spelling ("dor", "adaptive", "oblivious", ...). */
+std::optional<RoutingPolicy> parseRoutingPolicy(const std::string &name);
+
+/** All policies, in declaration order (sweep helpers). */
+const std::vector<RoutingPolicy> &allRoutingPolicies();
+
 /** Position of a node in the 2D layout (rings have y == 0). */
 struct Coord
 {
@@ -67,8 +92,10 @@ class TopologyGeometry
     /**
      * Lay @p num_nodes out on topology @p kind.
      *
-     * For Mesh2D/Torus2D, @p mesh_width fixes the X dimension when it
-     * divides the node count; when 0 (or non-dividing) the most-square
+     * For Mesh2D/Torus2D, @p mesh_width fixes the X dimension; it must
+     * divide the node count or the constructor throws
+     * std::invalid_argument (a silently re-factorized layout would make
+     * every hop-count result quietly wrong). When 0 the most-square
      * factorization is chosen (e.g. 32 nodes -> 4 x 8).
      */
     TopologyGeometry(TopologyKind kind, NodeId num_nodes,
@@ -83,16 +110,43 @@ class TopologyGeometry
     NodeId idOf(Coord c) const;
 
     /**
-     * The next node on the deterministic route from @p cur to @p dst.
+     * The next node on the deterministic dimension-order route from
+     * @p cur to @p dst.
      * @pre cur != dst.
      */
     NodeId nextHop(NodeId cur, NodeId dst) const;
+
+    /**
+     * All minimal next hops from @p cur toward @p dst: at most one per
+     * dimension, X candidate first (so element 0 is nextHop() whenever
+     * X is unresolved). Wrap-distance ties are pinned toward the
+     * increasing coordinate for every routing policy, keeping even-extent
+     * torus/ring routes deterministic per (cur, dst).
+     * @pre cur != dst.
+     */
+    std::vector<NodeId> productiveHops(NodeId cur, NodeId dst) const;
+
+    /**
+     * Allocation-free productiveHops for the router's per-hop path:
+     * fills @p out (X candidate first) and returns the candidate count
+     * (1 or 2; always 1 for point-to-point and ring).
+     * @pre cur != dst.
+     */
+    unsigned productiveHopsInto(NodeId cur, NodeId dst,
+                                NodeId (&out)[2]) const;
 
     /** Number of links the route from @p src to @p dst crosses. */
     unsigned hopCount(NodeId src, NodeId dst) const;
 
     /** Direct neighbors of @p node (each shared link appears once). */
     std::vector<NodeId> neighbors(NodeId node) const;
+
+    /** Dimension (0 = X, 1 = Y) of the physical link @p from -> @p to.
+     *  @pre the nodes are adjacent. */
+    unsigned linkDim(NodeId from, NodeId to) const;
+
+    /** True when @p from -> @p to is a wrap-around (dateline) link. */
+    bool isWrapLink(NodeId from, NodeId to) const;
 
     /** True when wrap-around links exist (torus, ring). */
     bool wraps() const

@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <iomanip>
 
@@ -33,6 +34,7 @@ Average::reset()
 Histogram::Histogram(double bucket_width, std::size_t n_buckets)
     : width_(bucket_width), buckets_(n_buckets, 0)
 {
+    assert(bucket_width > 0.0 && n_buckets > 0);
 }
 
 void
@@ -40,11 +42,16 @@ Histogram::sample(double v)
 {
     ++total_;
     sum_ += v;
-    auto idx = static_cast<std::size_t>(v / width_);
-    if (idx >= buckets_.size())
+    // Compare in double before converting: casting a negative or
+    // out-of-range value to size_t is undefined behavior. Negative (and
+    // NaN) samples clamp into bucket 0.
+    double idx = v / width_;
+    if (idx >= double(buckets_.size()))
         ++overflow_;
+    else if (idx > 0.0)
+        ++buckets_[static_cast<std::size_t>(idx)];
     else
-        ++buckets_[idx];
+        ++buckets_[0];
 }
 
 double

@@ -65,6 +65,7 @@ class Histogram
   public:
     Histogram(double bucket_width, std::size_t n_buckets);
 
+    /** Record @p v. Negative (or NaN) samples clamp into bucket 0. */
     void sample(double v);
 
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
@@ -110,7 +111,8 @@ class StatGroup
     Histogram &histogram(const std::string &name, double bucket_width = 16.0,
                          std::size_t n_buckets = 128);
 
-    /** Look up an existing counter; creates a zero one if absent. */
+    /** Value of the counter @p name; 0 when absent (never creates one —
+     *  use counter() to register). */
     std::uint64_t counterValue(const std::string &name) const;
     /** Look up an existing average's mean (0.0 if absent). */
     double averageMean(const std::string &name) const;

@@ -124,6 +124,35 @@ TEST(Experiment, NodeOverrideWorks)
     EXPECT_TRUE(r.completed);
 }
 
+TEST(Experiment, FullStackRunsOnBoundedAdaptiveNetwork)
+{
+    // End-to-end protocol correctness over the hardest network
+    // configuration: adaptive routing (in-flight reordering, restored by
+    // the ingress reorder buffer) plus finite buffers (credit
+    // backpressure and escape re-routing). The run must complete, and
+    // identical specs must replay identically.
+    auto run_once = [] {
+        ExperimentSpec spec;
+        spec.kernel = "unstructured";
+        spec.predictor = PredictorKind::LtpPerBlock;
+        spec.mode = PredictorMode::Active;
+        spec.nodes = 16;
+        NetworkParams net;
+        net.topology = TopologyKind::Mesh2D;
+        net.routing = RoutingPolicy::MinimalAdaptive;
+        net.vcDepth = 2;
+        spec.net = net;
+        return runExperiment(spec);
+    };
+    RunResult a = run_once();
+    EXPECT_TRUE(a.completed);
+    EXPECT_GT(a.netMsgs, 0u);
+    RunResult b = run_once();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.netMsgs, b.netMsgs);
+    EXPECT_EQ(a.selfInvsIssued, b.selfInvsIssued);
+}
+
 TEST(Experiment, SpeedupResultRatio)
 {
     SpeedupResult s;

@@ -4,11 +4,19 @@
  * deliver the messages of one (src, dst) pair in send order — the
  * invariant the coherence protocol's correctness rests on — and must
  * deliver every injected message exactly once.
+ *
+ * Parameterized over topology x routing policy x buffer depth: the
+ * dimension-order cases preserve order by construction (deterministic
+ * single path of FIFO links), while the adaptive/oblivious cases rely on
+ * the ingress reorder buffer; finite depths additionally exercise
+ * credit-based backpressure and the escape-path fallback under the same
+ * invariant.
  */
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "net/topo/interconnect.hh"
@@ -24,7 +32,14 @@ namespace
 constexpr NodeId kNodes = 16;
 constexpr int kMessages = 800;
 
-class TopoFifoTest : public ::testing::TestWithParam<TopologyKind>
+struct FifoCase
+{
+    TopologyKind topo;
+    RoutingPolicy routing;
+    unsigned vcDepth; //!< 0 = unbounded buffers (no backpressure)
+};
+
+class TopoFifoTest : public ::testing::TestWithParam<FifoCase>
 {
 };
 
@@ -44,9 +59,11 @@ TEST_P(TopoFifoTest, PairwiseFifoUnderRandomContention)
     EventQueue eq;
     StatGroup stats;
     NetworkParams params;
-    params.topology = GetParam();
+    params.topology = GetParam().topo;
+    params.routing = GetParam().routing;
+    params.vcDepth = GetParam().vcDepth;
     auto net = makeInterconnect(eq, kNodes, params, stats);
-    ASSERT_EQ(net->topology(), GetParam());
+    ASSERT_EQ(net->topology(), GetParam().topo);
 
     using Pair = std::pair<NodeId, NodeId>;
     std::map<Pair, std::vector<Addr>> sent, received;
@@ -62,7 +79,7 @@ TEST_P(TopoFifoTest, PairwiseFifoUnderRandomContention)
     // concentrated traffic to congest NIs and (for routed topologies)
     // shared links. Each message carries a unique tag in `addr`; the
     // send order per pair is recorded when the send actually executes.
-    Rng rng(0xF1F0 + std::uint64_t(GetParam()));
+    Rng rng(0xF1F0 + std::uint64_t(GetParam().topo));
     for (int i = 0; i < kMessages; ++i) {
         Message m;
         m.type = randomType(rng);
@@ -93,15 +110,36 @@ TEST_P(TopoFifoTest, PairwiseFifoUnderRandomContention)
     EXPECT_EQ(stats.counterValue("net.msgs"), std::uint64_t(kMessages));
 }
 
+std::string
+caseName(const ::testing::TestParamInfo<FifoCase> &info)
+{
+    const FifoCase &c = info.param;
+    std::string topo = c.topo == TopologyKind::PointToPoint
+                           ? "PointToPoint"
+                           : topologyKindName(c.topo);
+    return topo + "_" + routingPolicyName(c.routing) +
+           (c.vcDepth ? "_depth" + std::to_string(c.vcDepth) : "_inf");
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    AllTopologies, TopoFifoTest,
-    ::testing::Values(TopologyKind::PointToPoint, TopologyKind::Mesh2D,
-                      TopologyKind::Torus2D, TopologyKind::Ring),
-    [](const ::testing::TestParamInfo<TopologyKind> &info) {
-        return std::string(topologyKindName(info.param)) == "p2p"
-                   ? "PointToPoint"
-                   : topologyKindName(info.param);
-    });
+    AllTopologiesAndPolicies, TopoFifoTest,
+    ::testing::Values(
+        FifoCase{TopologyKind::PointToPoint, RoutingPolicy::DimensionOrder,
+                 0},
+        FifoCase{TopologyKind::Mesh2D, RoutingPolicy::DimensionOrder, 0},
+        FifoCase{TopologyKind::Mesh2D, RoutingPolicy::DimensionOrder, 3},
+        FifoCase{TopologyKind::Mesh2D, RoutingPolicy::MinimalAdaptive, 0},
+        FifoCase{TopologyKind::Mesh2D, RoutingPolicy::MinimalAdaptive, 3},
+        FifoCase{TopologyKind::Mesh2D, RoutingPolicy::Oblivious, 0},
+        FifoCase{TopologyKind::Mesh2D, RoutingPolicy::Oblivious, 2},
+        FifoCase{TopologyKind::Torus2D, RoutingPolicy::DimensionOrder, 0},
+        FifoCase{TopologyKind::Torus2D, RoutingPolicy::DimensionOrder, 3},
+        FifoCase{TopologyKind::Torus2D, RoutingPolicy::MinimalAdaptive, 3},
+        FifoCase{TopologyKind::Torus2D, RoutingPolicy::Oblivious, 3},
+        FifoCase{TopologyKind::Ring, RoutingPolicy::DimensionOrder, 0},
+        FifoCase{TopologyKind::Ring, RoutingPolicy::DimensionOrder, 2},
+        FifoCase{TopologyKind::Ring, RoutingPolicy::MinimalAdaptive, 2}),
+    caseName);
 
 } // namespace
 } // namespace ltp

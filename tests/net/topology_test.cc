@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "net/network.hh"
@@ -43,10 +44,55 @@ TEST(TopologyGeometry, MostSquareFactorization)
     TopologyGeometry g32w8(TopologyKind::Mesh2D, 32, 8);
     EXPECT_EQ(g32w8.width(), 8u);
     EXPECT_EQ(g32w8.height(), 4u);
+}
 
-    // A non-dividing width falls back to auto.
-    TopologyGeometry g32w5(TopologyKind::Mesh2D, 32, 5);
-    EXPECT_EQ(g32w5.width(), 4u);
+TEST(TopologyGeometry, NonDividingWidthIsAHardError)
+{
+    // A silently re-factorized layout would skew every hop-count result,
+    // so a width that does not divide the node count must throw.
+    EXPECT_THROW(TopologyGeometry(TopologyKind::Mesh2D, 32, 5),
+                 std::invalid_argument);
+    EXPECT_THROW(TopologyGeometry(TopologyKind::Torus2D, 16, 3),
+                 std::invalid_argument);
+    EXPECT_THROW(TopologyGeometry(TopologyKind::Mesh2D, 32, 33),
+                 std::invalid_argument);
+}
+
+TEST(NetworkParamsValidation, RejectsBadCombinations)
+{
+    EventQueue eq;
+    StatGroup stats;
+
+    NetworkParams bad_width;
+    bad_width.topology = TopologyKind::Mesh2D;
+    bad_width.meshWidth = 5;
+    EXPECT_THROW(makeInterconnect(eq, 32, bad_width, stats),
+                 std::invalid_argument);
+
+    NetworkParams no_bw;
+    no_bw.linkBandwidth = 0;
+    EXPECT_THROW(makeInterconnect(eq, 32, no_bw, stats),
+                 std::invalid_argument);
+
+    // A wrap topology needs two escape VCs; adaptive routing one more.
+    NetworkParams few_vcs;
+    few_vcs.topology = TopologyKind::Torus2D;
+    few_vcs.vcCount = 1;
+    EXPECT_THROW(makeInterconnect(eq, 16, few_vcs, stats),
+                 std::invalid_argument);
+    few_vcs.vcCount = 2;
+    EXPECT_NO_THROW(makeInterconnect(eq, 16, few_vcs, stats));
+    few_vcs.routing = RoutingPolicy::MinimalAdaptive;
+    EXPECT_THROW(makeInterconnect(eq, 16, few_vcs, stats),
+                 std::invalid_argument);
+
+    // Dividing widths and the auto layout stay valid.
+    NetworkParams good;
+    good.topology = TopologyKind::Mesh2D;
+    good.meshWidth = 8;
+    EXPECT_NO_THROW(makeInterconnect(eq, 32, good, stats));
+    good.meshWidth = 0;
+    EXPECT_NO_THROW(makeInterconnect(eq, 32, good, stats));
 }
 
 TEST(TopologyGeometry, CoordRoundTrip)
@@ -89,6 +135,31 @@ TEST(TopologyGeometry, RingTakesShorterDirection)
     EXPECT_EQ(g.hopCount(0, 5), 3u);
     EXPECT_EQ(g.nextHop(0, 5), 7u); // backward around the ring
     EXPECT_EQ(g.nextHop(0, 2), 1u); // forward
+}
+
+TEST(TopologyGeometry, ProductiveHopsMatchDimensionCandidates)
+{
+    TopologyGeometry g(TopologyKind::Mesh2D, 16); // 4 x 4
+    // (0,0) -> (2,2): X and Y both unresolved; X candidate first, so
+    // element 0 is always the dimension-order next hop.
+    EXPECT_EQ(g.productiveHops(0, 10), (std::vector<NodeId>{1, 4}));
+    EXPECT_EQ(g.productiveHops(0, 10)[0], g.nextHop(0, 10));
+    // Same row: only the X candidate remains.
+    EXPECT_EQ(g.productiveHops(0, 3), (std::vector<NodeId>{1}));
+    // Same column: only the Y candidate.
+    EXPECT_EQ(g.productiveHops(0, 12), (std::vector<NodeId>{4}));
+}
+
+TEST(TopologyGeometry, WrapLinkAndDimQueries)
+{
+    TopologyGeometry g(TopologyKind::Torus2D, 16); // 4 x 4
+    EXPECT_EQ(g.linkDim(0, 1), 0u);
+    EXPECT_EQ(g.linkDim(0, 4), 1u);
+    EXPECT_FALSE(g.isWrapLink(0, 1));
+    EXPECT_TRUE(g.isWrapLink(0, 3));  // x: 0 -> 3 crosses the seam
+    EXPECT_TRUE(g.isWrapLink(0, 12)); // y: 0 -> 12 crosses the seam
+    TopologyGeometry m(TopologyKind::Mesh2D, 16);
+    EXPECT_FALSE(m.isWrapLink(0, 1));
 }
 
 TEST(TopologyGeometry, PointToPointIsSingleHop)
@@ -165,12 +236,19 @@ class RoutedNetworkTest : public ::testing::Test
         return p;
     }
 
+    /** Link serialization in cycles: ceil(message bytes / bandwidth). */
+    static Tick
+    serTicks(const NetworkParams &p, bool data)
+    {
+        unsigned bytes = p.headerBytes + (data ? p.blockBytes : 0);
+        return (bytes + p.linkBandwidth - 1) / p.linkBandwidth;
+    }
+
     /** Per-hop cost with default knobs (no contention). */
     static Tick
     hopCost(const NetworkParams &p, bool data)
     {
-        return (data ? p.linkDataOccupancy : p.linkControlOccupancy) +
-               p.hopLatency + p.routerLatency;
+        return serTicks(p, data) + p.hopLatency + p.routerLatency;
     }
 
     Message
@@ -214,15 +292,19 @@ TEST_F(RoutedNetworkTest, LatencyIsNiPlusPerHopCosts)
 }
 
 /**
- * Calibration pin (ROADMAP): the default per-hop knobs are chosen so one
- * unloaded routed hop costs a control message exactly the paper's
- * 80-cycle point-to-point flight. Adjacent-node latency must therefore
- * be identical under the p2p model and every routed topology.
+ * Calibration pin (ROADMAP): the default byte-bandwidth knobs are chosen
+ * so one unloaded routed hop costs a control message exactly the paper's
+ * 80-cycle point-to-point flight (16 B header / 4 B-per-cycle link = 4
+ * cycles of serialization, plus wire and router). Adjacent-node latency
+ * must therefore be identical under the p2p model and every routed
+ * topology.
  */
 TEST_F(RoutedNetworkTest, DefaultKnobsMatchPaperFlightLatencyAtOneHop)
 {
     NetworkParams p = meshParams();
-    EXPECT_EQ(p.linkControlOccupancy + p.hopLatency + p.routerLatency,
+    EXPECT_EQ(serTicks(p, false), 4u);
+    EXPECT_EQ(serTicks(p, true), 12u);
+    EXPECT_EQ(serTicks(p, false) + p.hopLatency + p.routerLatency,
               p.flightLatency);
     EXPECT_EQ(hopCost(p, false), 80u);
 
@@ -307,11 +389,9 @@ TEST_F(RoutedNetworkTest, LinkAndHopStatsPopulated)
 
     EXPECT_EQ(stats.counterValue("net.hops"), 2u);
     NetworkParams p = meshParams();
-    EXPECT_EQ(stats.counterValue("net.linkBusy.0-1"),
-              p.linkControlOccupancy);
+    EXPECT_EQ(stats.counterValue("net.linkBusy.0-1"), serTicks(p, false));
     EXPECT_EQ(stats.counterValue("net.linkMsgs.0-1"), 1u);
-    EXPECT_EQ(stats.counterValue("net.linkBusy.1-2"),
-              p.linkControlOccupancy);
+    EXPECT_EQ(stats.counterValue("net.linkBusy.1-2"), serTicks(p, false));
     EXPECT_EQ(stats.counterValue("net.linkMsgs.2-3"), 0u);
 
     ASSERT_TRUE(stats.hasHistogram("net.endToEndLatency"));
@@ -335,6 +415,49 @@ TEST_F(RoutedNetworkTest, LinkCountsMatchTopology)
     NetworkParams ring;
     ring.topology = TopologyKind::Ring;
     EXPECT_EQ(RoutedNetwork(eq, 8, ring, stats).numLinks(), 16u);
+}
+
+/**
+ * On an even-extent torus the two wrap directions tie; the tie-break is
+ * pinned toward the increasing coordinate for every routing policy, so
+ * even-extent torus routes stay deterministic per (src, dst).
+ */
+TEST_F(RoutedNetworkTest, TorusEvenExtentTieBreakPinnedForAllPolicies)
+{
+    TopologyGeometry g(TopologyKind::Torus2D, 16); // 4 x 4: extent 4
+    // 0 -> 2 in X: forward and backward are both 2 hops.
+    EXPECT_EQ(g.hopCount(0, 2), 2u);
+    EXPECT_EQ(g.nextHop(0, 2), 1u);
+    EXPECT_EQ(g.productiveHops(0, 2), (std::vector<NodeId>{1}));
+    // 0 -> 8 in Y: same tie, pinned to +Y.
+    EXPECT_EQ(g.nextHop(0, 8), 4u);
+    // Both dimensions tied: still one pinned candidate per dimension.
+    EXPECT_EQ(g.productiveHops(0, 10), (std::vector<NodeId>{1, 4}));
+
+    for (RoutingPolicy routing : allRoutingPolicies()) {
+        EventQueue eq;
+        StatGroup stats;
+        NetworkParams p;
+        p.topology = TopologyKind::Torus2D;
+        p.routing = routing;
+        RoutedNetwork net(eq, 16, p, stats);
+        unsigned arrived = 0;
+        for (NodeId n = 0; n < 16; ++n)
+            net.setSink(n, [&](const Message &) { ++arrived; });
+        net.send(msg(MsgType::GetS, 0, 2));
+        eq.run();
+        EXPECT_EQ(arrived, 1u) << routingPolicyName(routing);
+        // The pinned route is 0 -> 1 -> 2; the backward wrap must stay
+        // untouched under every policy.
+        EXPECT_EQ(stats.counterValue("net.linkMsgs.0-1"), 1u)
+            << routingPolicyName(routing);
+        EXPECT_EQ(stats.counterValue("net.linkMsgs.1-2"), 1u)
+            << routingPolicyName(routing);
+        EXPECT_EQ(stats.counterValue("net.linkMsgs.0-3"), 0u)
+            << routingPolicyName(routing);
+        EXPECT_EQ(stats.counterValue("net.linkMsgs.3-2"), 0u)
+            << routingPolicyName(routing);
+    }
 }
 
 TEST_F(RoutedNetworkTest, LocalDeliveryBypassesNetwork)

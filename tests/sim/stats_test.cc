@@ -77,6 +77,23 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.totalSamples(), 6u);
 }
 
+TEST(Histogram, NegativeSamplesClampIntoBucketZero)
+{
+    // Regression: a negative sample used to be cast to size_t (undefined
+    // behavior) and only landed in overflow by luck.
+    Histogram h(10.0, 4);
+    h.sample(-5.0);
+    h.sample(-0.1);
+    h.sample(-1e300);
+    EXPECT_EQ(h.bucket(0), 3u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.totalSamples(), 3u);
+    // Values beyond any size_t still land in overflow, not in UB.
+    h.sample(1e300);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.totalSamples(), 4u);
+}
+
 TEST(Histogram, MeanOverAllSamples)
 {
     Histogram h(1.0, 2);

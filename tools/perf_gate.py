@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the tracked simulation-core benchmark.
+
+Compares a fresh Release-mode bench_perf trajectory (BENCH_core.json)
+against the committed one and fails when events/sec regresses by more
+than the threshold (default 15%). The primary gate is the *geometric
+mean* over all (kernel, config) cells — single-cell wall-clock numbers
+swing by 10%+ between otherwise identical runs, while the geomean is
+stable — plus a per-cell floor at twice the threshold to catch one
+kernel cratering while the rest mask it.
+
+    $ python3 tools/perf_gate.py BENCH_core.json build/BENCH_core.json
+
+Every cell must appear in both files: a cell missing from the fresh run
+(kernel removed) or present only in the fresh run (kernel added without
+refreshing the committed baseline) fails the gate.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "bench_core/v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(r["kernel"], r["config"]): r for r in doc["runs"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_core.json")
+    ap.add_argument("fresh", help="freshly produced BENCH_core.json")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed fractional geomean events/sec "
+                         "regression; per-cell floor is 2x this "
+                         "(default 0.15)")
+    args = ap.parse_args()
+
+    base = load_runs(args.baseline)
+    fresh = load_runs(args.fresh)
+    cell_floor = 1.0 - 2.0 * args.threshold
+
+    failures = []
+    for key in sorted(set(fresh) - set(base)):
+        failures.append(f"{key[0]}/{key[1]}: present only in the fresh "
+                        "run — refresh the committed baseline")
+
+    ratios = []
+    print(f"{'kernel':<14}{'config':<12}{'base ev/s':>14}"
+          f"{'fresh ev/s':>14}{'ratio':>8}")
+    for key in sorted(base):
+        kernel, config = key
+        b = base[key]
+        f = fresh.get(key)
+        if f is None:
+            failures.append(f"{kernel}/{config}: missing from fresh run")
+            continue
+        if not f.get("completed", False):
+            failures.append(f"{kernel}/{config}: did not complete")
+            continue
+        if b["eventsPerSec"] <= 0:
+            continue
+        ratio = f["eventsPerSec"] / b["eventsPerSec"]
+        ratios.append(ratio)
+        flag = "" if ratio >= cell_floor else "  << REGRESSION"
+        print(f"{kernel:<14}{config:<12}{b['eventsPerSec']:>14.0f}"
+              f"{f['eventsPerSec']:>14.0f}{ratio:>8.3f}{flag}")
+        if ratio < cell_floor:
+            failures.append(
+                f"{kernel}/{config}: events/sec fell to {ratio:.3f}x "
+                f"(per-cell floor {cell_floor:.3f}x)")
+
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        print(f"\ngeomean events/sec ratio: {geomean:.3f} "
+              f"(limit {1.0 - args.threshold:.3f})")
+        if geomean < 1.0 - args.threshold:
+            failures.append(
+                f"geomean events/sec fell to {geomean:.3f}x "
+                f"(limit {1.0 - args.threshold:.3f}x)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} perf gate violation(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nOK: events/sec within the regression threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
