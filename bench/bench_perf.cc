@@ -11,16 +11,24 @@
  * Every perf-affecting PR from this one onward reruns this bench in
  * Release mode and diffs the JSON against the previous trajectory point.
  *
- *   $ ./bench_perf [--out FILE] [--scale S] [kernel...]
+ *   $ ./bench_perf [--out FILE] [--scale S] [--threads LIST] [kernel...]
  *
  * --scale multiplies every kernel's default iteration count (use < 1 for
  * a quick smoke run, > 1 for more stable numbers). Wall-clock timing
  * covers system construction + run (the steady-state schedule/execute
  * loop dominates).
+ *
+ * The `parallel` section sweeps the node-partitioned engine on a
+ * 64-node mesh (base system) at the shard counts given by --threads
+ * (default 1,2,4), recorded as configs "mesh64-t<S>". Only the t1 cells
+ * are gated by tools/perf_gate.py — S>1 throughput depends on the
+ * runner's core count — but they pin the sequential baseline the
+ * parallel path must not regress.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -49,6 +57,24 @@ struct Sample
 };
 
 Sample
+runSpec(ExperimentSpec spec, const std::string &config_name)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult r = runExperiment(spec);
+    auto t1 = std::chrono::steady_clock::now();
+
+    Sample s;
+    s.kernel = spec.kernel;
+    s.config = config_name;
+    s.completed = r.completed;
+    s.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    s.cycles = r.cycles;
+    s.events = r.eventsExecuted;
+    s.msgs = r.netMsgs;
+    return s;
+}
+
+Sample
 runOne(const std::string &kernel, PredictorKind kind, PredictorMode mode,
        const char *config_name, double scale)
 {
@@ -57,20 +83,26 @@ runOne(const std::string &kernel, PredictorKind kind, PredictorMode mode,
     spec.predictor = kind;
     spec.mode = mode;
     spec.iterScale = scale;
+    // Pin the engine: these cells are the perf-gated sequential
+    // trajectory and must ignore a stray LTP_SIM_THREADS.
+    spec.simThreads = 1;
+    return runSpec(std::move(spec), config_name);
+}
 
-    auto t0 = std::chrono::steady_clock::now();
-    RunResult r = runExperiment(spec);
-    auto t1 = std::chrono::steady_clock::now();
-
-    Sample s;
-    s.kernel = kernel;
-    s.config = config_name;
-    s.completed = r.completed;
-    s.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
-    s.cycles = r.cycles;
-    s.events = r.eventsExecuted;
-    s.msgs = r.netMsgs;
-    return s;
+/** One `parallel` section cell: base system, 64-node mesh, S shards. */
+Sample
+runParallel(const std::string &kernel, unsigned threads, double scale)
+{
+    ExperimentSpec spec;
+    spec.kernel = kernel;
+    spec.predictor = PredictorKind::Base;
+    spec.mode = PredictorMode::Off;
+    spec.iterScale = scale;
+    spec.nodes = 64;
+    spec.topology = TopologyKind::Mesh2D;
+    spec.simThreads = threads;
+    return runSpec(std::move(spec),
+                   "mesh64-t" + std::to_string(threads));
 }
 
 void
@@ -118,6 +150,7 @@ main(int argc, char **argv)
 {
     std::string out = "BENCH_core.json";
     double scale = 1.0;
+    std::vector<unsigned> threads = {1, 2, 4};
     std::vector<std::string> kernels;
 
     for (int i = 1; i < argc; ++i) {
@@ -125,6 +158,19 @@ main(int argc, char **argv)
             out = argv[++i];
         } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
             scale = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            threads.clear();
+            for (const char *p = argv[++i]; *p;) {
+                char *end = nullptr;
+                unsigned long v = std::strtoul(p, &end, 10);
+                if (end == p || v == 0) {
+                    std::fprintf(stderr, "bad --threads list '%s'\n",
+                                 argv[i]);
+                    return 1;
+                }
+                threads.push_back(unsigned(v));
+                p = *end == ',' ? end + 1 : end;
+            }
         } else {
             kernels.push_back(argv[i]);
         }
@@ -161,6 +207,21 @@ main(int argc, char **argv)
                            : runOne(kernel, PredictorKind::LtpPerBlock,
                                     PredictorMode::Active, "ltp-active",
                                     scale);
+            std::printf("%-12s %-10s | %8.3f %12llu %12llu | %12.0f "
+                        "%12.0f%s\n",
+                        s.kernel.c_str(), s.config.c_str(), s.wallSeconds,
+                        (unsigned long long)s.events,
+                        (unsigned long long)s.msgs, s.rate(s.events),
+                        s.rate(s.msgs), s.completed ? "" : "  (incomplete)");
+            samples.push_back(std::move(s));
+        }
+    }
+
+    // The parallel section: the node-partitioned engine on a 64-node
+    // mesh, one cell per (kernel, shard count).
+    for (const auto &kernel : kernels) {
+        for (unsigned t : threads) {
+            Sample s = runParallel(kernel, t, scale);
             std::printf("%-12s %-10s | %8.3f %12llu %12llu | %12.0f "
                         "%12.0f%s\n",
                         s.kernel.c_str(), s.config.c_str(), s.wallSeconds,

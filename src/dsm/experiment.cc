@@ -1,6 +1,7 @@
 #include "dsm/experiment.hh"
 
 #include <cmath>
+#include <cstdlib>
 
 namespace ltp
 {
@@ -12,6 +13,11 @@ runExperiment(const ExperimentSpec &spec)
                                                   spec.mode, spec.sigBits);
     if (spec.nodes)
         sp.numNodes = *spec.nodes;
+    if (spec.simThreads) {
+        sp.simThreads = *spec.simThreads;
+    } else if (const char *env = std::getenv("LTP_SIM_THREADS")) {
+        sp.simThreads = unsigned(std::strtoul(env, nullptr, 10));
+    }
     if (spec.net) {
         sp.net = *spec.net;
     } else {

@@ -38,6 +38,14 @@ struct ExperimentSpec
     RoutingPolicy routing = RoutingPolicy::DimensionOrder;
     /** Full network-knob override (wins over `topology`/`routing`). */
     std::optional<NetworkParams> net;
+    /**
+     * Simulation worker threads (SystemParams::simThreads). Results are
+     * bit-identical for every value. When unset, the LTP_SIM_THREADS
+     * environment variable applies (CI runs a tier-1 shard with
+     * LTP_SIM_THREADS=2 to exercise the parallel engine); setting any
+     * value — including 1 — pins the run and ignores the environment.
+     */
+    std::optional<unsigned> simThreads;
 };
 
 /** Run one experiment on a fresh system. */

@@ -47,6 +47,17 @@ struct SystemParams
 
     Tick barrierLatency = 200;
 
+    /**
+     * Simulation worker threads (not simulated processors!). Each
+     * thread owns a contiguous shard of the nodes and runs it under the
+     * parallel engine's conservative windows (src/sim/par/). Results
+     * are bit-identical for every value; configurations with a
+     * zero-lookahead cross-node coupling (Active predictors' directory
+     * verification feedback, oblivious routing) fall back to one
+     * thread. 1 = the classic sequential engine.
+     */
+    unsigned simThreads = 1;
+
     PredictorKind predictor = PredictorKind::Base;
     PredictorMode mode = PredictorMode::Off;
     LtpParams ltp; //!< signature width etc. (LTP and Last-PC variants)

@@ -7,9 +7,53 @@
 #include "predictor/last_pc.hh"
 #include "predictor/ltp_global.hh"
 #include "predictor/ltp_per_block.hh"
+#include "sim/par/parallel_scheduler.hh"
 
 namespace ltp
 {
+
+namespace
+{
+
+/** Decide the engine (shards + window) for @p params. */
+ShardPlan
+planFor(const SystemParams &params)
+{
+    // Reject invalid network knobs with the descriptive error before
+    // deriving a lookahead from them (makeInterconnect would only get
+    // to say so later).
+    validateNetworkParams(params.net, params.numNodes);
+    NetLookahead net = networkLookahead(params.net);
+    LookaheadInputs in;
+    in.requestedThreads = params.simThreads;
+    in.numNodes = params.numNodes;
+    in.netLookahead = net.ticks;
+    in.netSerialReason = net.serialReason;
+    in.barrierLatency = params.barrierLatency;
+    if (params.mode == PredictorMode::Active &&
+        params.predictor != PredictorKind::Base) {
+        // The home directory trains the self-invalidating node's
+        // predictor combinationally when it verifies a SelfInv
+        // (DirController::setVerifyHook) — a zero-lookahead cross-node
+        // wire no conservative window can span.
+        in.zeroLookaheadCoupling =
+            "active predictor verification feedback is a zero-lookahead "
+            "cross-node coupling";
+    }
+    return resolveShardPlan(in);
+}
+
+std::unique_ptr<SimContext>
+makeContext(const ShardPlan &plan, NodeId num_nodes)
+{
+    if (plan.canonical()) {
+        return std::make_unique<ParallelScheduler>(plan.shards, num_nodes,
+                                                   plan.window);
+    }
+    return std::make_unique<SequentialContext>();
+}
+
+} // namespace
 
 const char *
 predictorKindName(PredictorKind k)
@@ -52,20 +96,27 @@ SystemParams::withTopology(TopologyKind kind, NodeId nodes)
 
 DsmSystem::DsmSystem(SystemParams params)
     : params_(params),
+      plan_(planFor(params)),
+      sim_(makeContext(plan_, params.numNodes)),
       homes_(params.pageSize, params.numNodes),
       as_(std::make_unique<AddressSpace>(homes_, params.cache.blockSize)),
-      net_(makeInterconnect(eq_, params.numNodes, params.net, stats_)),
-      sync_(std::make_unique<SyncDomain>(eq_, params.numNodes,
+      net_(makeInterconnect(*sim_, params.numNodes, params.net)),
+      sync_(std::make_unique<SyncDomain>(*sim_, params.numNodes,
                                          params.barrierLatency))
 {
+    mem_.setConcurrent(plan_.parallel());
     for (NodeId n = 0; n < params_.numNodes; ++n) {
+        // Every component of node n runs on n's shard: its queue and
+        // its shard's stat group (merged after the run).
+        EventQueue &eq = sim_->queueFor(n);
+        StatGroup &stats = sim_->shardStats(sim_->shardOf(n));
         auto node = std::make_unique<DsmNode>();
         node->predictor = makePredictor();
         node->cacheCtrl = std::make_unique<CacheController>(
-            n, eq_, *net_, homes_, params_.cache, stats_);
+            n, eq, *net_, homes_, params_.cache, stats);
         node->cacheCtrl->setPredictor(node->predictor.get(), params_.mode);
         node->dirCtrl = std::make_unique<DirController>(
-            n, eq_, *net_, params_.dir, stats_);
+            n, eq, *net_, params_.dir, stats);
         nodes_.push_back(std::move(node));
     }
 
@@ -136,44 +187,50 @@ DsmSystem::run(KernelBase &kernel, const KernelConfig &cfg)
     for (NodeId n = 0; n < params_.numNodes; ++n) {
         DsmNode &node = *nodes_[n];
         node.thread = std::make_unique<ThreadCtx>(
-            n, eq_, *node.cacheCtrl, mem_, *sync_, actual.seed);
-        node.onDone = [this] { ++finished_; };
+            n, sim_->queueFor(n), *node.cacheCtrl, mem_, *sync_,
+            actual.seed);
+        node.onDone = [this] {
+            finished_.fetch_add(1, std::memory_order_relaxed);
+        };
         node.task = kernel.run(*node.thread);
         node.task.start(&node.onDone);
     }
 
-    eq_.runUntil(params_.maxTicks);
-    bool completed = finished_ == params_.numNodes;
+    sim_->runUntil(params_.maxTicks);
+    bool completed =
+        finished_.load(std::memory_order_relaxed) == params_.numNodes;
     return collect(completed);
 }
 
 RunResult
 DsmSystem::collect(bool completed) const
 {
+    StatGroup &stats = sim_->stats();
     RunResult r;
     r.completed = completed;
-    r.cycles = eq_.now();
-    r.eventsExecuted = eq_.eventsExecuted();
-    r.invalidations = stats_.counterValue("pred.invalidations");
-    r.predicted = stats_.counterValue("pred.predicted");
-    r.notPredicted = stats_.counterValue("pred.notPredicted");
-    r.mispredicted = stats_.counterValue("pred.mispredicted");
-    r.dirQueueingMean = stats_.averageMean("dir.queueing");
-    r.dirServiceMean = stats_.averageMean("dir.service");
-    r.selfInvTimelyCorrect = stats_.counterValue("dir.selfInvTimelyCorrect");
-    r.selfInvLateCorrect = stats_.counterValue("dir.selfInvLateCorrect");
-    r.selfInvPremature = stats_.counterValue("dir.selfInvPremature");
-    r.selfInvsIssued = stats_.counterValue("pred.selfInvsIssued");
+    r.cycles = sim_->now();
+    r.eventsExecuted = sim_->eventsExecuted();
+    r.simShards = plan_.shards;
+    r.invalidations = stats.counterValue("pred.invalidations");
+    r.predicted = stats.counterValue("pred.predicted");
+    r.notPredicted = stats.counterValue("pred.notPredicted");
+    r.mispredicted = stats.counterValue("pred.mispredicted");
+    r.dirQueueingMean = stats.averageMean("dir.queueing");
+    r.dirServiceMean = stats.averageMean("dir.service");
+    r.selfInvTimelyCorrect = stats.counterValue("dir.selfInvTimelyCorrect");
+    r.selfInvLateCorrect = stats.counterValue("dir.selfInvLateCorrect");
+    r.selfInvPremature = stats.counterValue("dir.selfInvPremature");
+    r.selfInvsIssued = stats.counterValue("pred.selfInvsIssued");
 
-    r.netMsgs = stats_.counterValue("net.msgs");
-    r.netLatencyMean = stats_.averageMean("net.endToEndLatency");
-    if (const Histogram *h = stats_.findHistogram("net.endToEndLatency")) {
+    r.netMsgs = stats.counterValue("net.msgs");
+    r.netLatencyMean = stats.averageMean("net.endToEndLatency");
+    if (const Histogram *h = stats.findHistogram("net.endToEndLatency")) {
         r.netLatencyP50 = h->percentile(0.5);
         r.netLatencyP99 = h->percentile(0.99);
         r.netLatencyOverflow = h->overflow();
     }
-    r.netHopMean = stats_.averageMean("net.hopsPerMsg");
-    r.netPeakLinkBusy = stats_.maxCounterValueWithPrefix("net.linkBusy.");
+    r.netHopMean = stats.averageMean("net.hopsPerMsg");
+    r.netPeakLinkBusy = stats.maxCounterValueWithPrefix("net.linkBusy.");
 
     for (const auto &node : nodes_) {
         if (node->thread)

@@ -16,6 +16,7 @@
 #ifndef LTP_DSM_SYSTEM_HH
 #define LTP_DSM_SYSTEM_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -31,6 +32,8 @@
 #include "proto/cache_controller.hh"
 #include "proto/dir_controller.hh"
 #include "sim/event_queue.hh"
+#include "sim/par/lookahead.hh"
+#include "sim/par/sim_context.hh"
 #include "sim/stats.hh"
 
 namespace ltp
@@ -44,6 +47,8 @@ struct RunResult
     std::uint64_t memOps = 0;
     /** Discrete events executed by the simulation core (perf tracking). */
     std::uint64_t eventsExecuted = 0;
+    /** Partitions the engine actually ran (1 = sequential fallback). */
+    unsigned simShards = 1;
 
     // Prediction-accuracy accounting (Figures 6-8). The denominator is
     // the number of (real or correctly-replaced) invalidations.
@@ -127,8 +132,19 @@ class DsmSystem
     RunResult run(KernelBase &kernel, const KernelConfig &cfg);
 
     const SystemParams &params() const { return params_; }
-    StatGroup &stats() { return stats_; }
-    EventQueue &eventQueue() { return eq_; }
+    /**
+     * Whole-run statistics. Under the canonical engine this is a
+     * merged snapshot rebuilt on every call: references stay valid
+     * across calls, but treat it as read-only — writes are discarded by
+     * the next rebuild. To register custom stats, use
+     * simContext().shardStats() before the run instead.
+     */
+    StatGroup &stats() { return sim_->stats(); }
+    /** Node 0's event queue — the only queue on a sequential run. */
+    EventQueue &eventQueue() { return sim_->queueFor(0); }
+    /** The engine (sharding, window width) this system runs on. */
+    const ShardPlan &shardPlan() const { return plan_; }
+    SimContext &simContext() { return *sim_; }
     Interconnect &network() { return *net_; }
     DsmNode &node(NodeId n) { return *nodes_[n]; }
     MemoryValues &memory() { return mem_; }
@@ -139,15 +155,15 @@ class DsmSystem
     RunResult collect(bool completed) const;
 
     SystemParams params_;
-    StatGroup stats_;
-    EventQueue eq_;
+    ShardPlan plan_;
+    std::unique_ptr<SimContext> sim_;
     HomeMap homes_;
     MemoryValues mem_;
     std::unique_ptr<AddressSpace> as_;
     std::unique_ptr<Interconnect> net_;
     std::unique_ptr<SyncDomain> sync_;
     std::vector<std::unique_ptr<DsmNode>> nodes_;
-    unsigned finished_ = 0;
+    std::atomic<unsigned> finished_{0};
 };
 
 } // namespace ltp

@@ -13,17 +13,27 @@
  * the domain arrive (plus a fixed latency), without generating spin
  * traffic. Barrier arrival also reports a synchronization boundary. See
  * DESIGN.md for why this substitution is safe.
+ *
+ * Under the parallel engine the domain switches to a sharded protocol:
+ * arrivals from different shards meet in atomics (a count plus a
+ * monotonic max of the arrival ticks — both commutative, so the release
+ * tick is independent of wall-clock arrival order), and the completing
+ * arrival posts one per-node wakeup through the engine at
+ * lastArrival + barrierLatency. That delay is what bounds the engine's
+ * lookahead window alongside the network (see sim/par/lookahead.hh).
  */
 
 #ifndef LTP_KERNEL_SYNC_HH
 #define LTP_KERNEL_SYNC_HH
 
+#include <atomic>
 #include <coroutine>
 #include <vector>
 
 #include "kernel/task.hh"
 #include "kernel/thread_ctx.hh"
 #include "sim/event_queue.hh"
+#include "sim/par/sim_context.hh"
 #include "sim/types.hh"
 
 namespace ltp
@@ -35,52 +45,112 @@ class SyncDomain
   public:
     SyncDomain(EventQueue &eq, unsigned num_threads,
                Tick barrier_latency = 200)
-        : eq_(eq), numThreads_(num_threads),
+        : eq_(&eq), numThreads_(num_threads),
           barrierLatency_(barrier_latency)
     {
     }
 
-    unsigned numThreads() const { return numThreads_; }
-    std::uint64_t barriersCompleted() const { return completed_; }
+    /**
+     * Engine-aware domain: plain sequential contexts take the exact
+     * legacy path; canonical (windowed) contexts use the sharded
+     * arrival protocol at every shard count, so the release events are
+     * identical whether one thread runs or eight.
+     */
+    SyncDomain(SimContext &ctx, unsigned num_threads,
+               Tick barrier_latency = 200)
+        : eq_(&ctx.queueFor(0)), numThreads_(num_threads),
+          barrierLatency_(barrier_latency)
+    {
+        if (ctx.canonical()) {
+            ctx_ = &ctx;
+            slots_.assign(num_threads, nullptr);
+        }
+    }
 
-    /** Awaitable barrier arrival. */
+    unsigned numThreads() const { return numThreads_; }
+    std::uint64_t
+    barriersCompleted() const
+    {
+        return completed_.load(std::memory_order_relaxed);
+    }
+
+    /** Awaitable barrier arrival of simulated thread @p node. */
     struct [[nodiscard]] BarrierAwaiter
     {
         SyncDomain *dom;
+        NodeId node;
 
         bool await_ready() const { return false; }
         void
         await_suspend(std::coroutine_handle<> h)
         {
-            dom->arrive(h);
+            dom->arrive(node, h);
         }
         void await_resume() const {}
     };
 
-    BarrierAwaiter wait() { return BarrierAwaiter{this}; }
+    BarrierAwaiter wait(NodeId node) { return BarrierAwaiter{this, node}; }
 
   private:
     void
-    arrive(std::coroutine_handle<> h)
+    arrive(NodeId node, std::coroutine_handle<> h)
     {
-        waiting_.push_back(h);
-        if (waiting_.size() < numThreads_)
+        if (!ctx_) {
+            waiting_.push_back(h);
+            if (waiting_.size() < numThreads_)
+                return;
+            // Everyone is here: release the whole generation.
+            std::vector<std::coroutine_handle<>> batch;
+            batch.swap(waiting_);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            eq_->scheduleIn(barrierLatency_, [batch = std::move(batch)] {
+                for (auto handle : batch)
+                    handle.resume();
+            });
             return;
-        // Everyone is here: release the whole generation.
-        std::vector<std::coroutine_handle<>> batch;
-        batch.swap(waiting_);
-        ++completed_;
-        eq_.scheduleIn(barrierLatency_, [batch = std::move(batch)] {
-            for (auto handle : batch)
-                handle.resume();
-        });
+        }
+
+        // Sharded protocol. Publish this arrival (slot write, then max
+        // of the arrival tick, then the count — the completer's acquire
+        // on the count makes both visible), and let whoever arrives
+        // last schedule the release.
+        slots_[node] = h;
+        Tick t = ctx_->queueFor(node).now();
+        Tick seen = lastArrival_.load(std::memory_order_relaxed);
+        while (t > seen &&
+               !lastArrival_.compare_exchange_weak(
+                   seen, t, std::memory_order_release,
+                   std::memory_order_relaxed)) {
+        }
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 <
+            numThreads_)
+            return;
+
+        // Completing arrival: every simulated thread is parked in the
+        // barrier, so resetting for the next generation cannot race
+        // with a new arrival.
+        Tick release = lastArrival_.load(std::memory_order_acquire) +
+                       barrierLatency_;
+        arrived_.store(0, std::memory_order_relaxed);
+        lastArrival_.store(0, std::memory_order_relaxed);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        for (NodeId n = 0; n < NodeId(slots_.size()); ++n) {
+            std::coroutine_handle<> hn = slots_[n];
+            slots_[n] = nullptr;
+            ctx_->post(n, release, chan::barrier(n),
+                       [hn] { hn.resume(); });
+        }
     }
 
-    EventQueue &eq_;
+    EventQueue *eq_;
+    SimContext *ctx_ = nullptr; //!< set only for canonical engines
     unsigned numThreads_;
     Tick barrierLatency_;
     std::vector<std::coroutine_handle<>> waiting_;
-    std::uint64_t completed_ = 0;
+    std::vector<std::coroutine_handle<>> slots_; //!< per-node arrivals
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<Tick> lastArrival_{0};
+    std::atomic<std::uint64_t> completed_{0};
 };
 
 /** PCs of the instructions inside a lock acquire/release sequence. */
@@ -99,7 +169,7 @@ inline Task<void>
 barrier(ThreadCtx &ctx)
 {
     ctx.syncBoundary();
-    co_await ctx.sync().wait();
+    co_await ctx.sync().wait(ctx.id());
 }
 
 /**

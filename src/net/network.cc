@@ -9,8 +9,12 @@ Network::send(Message msg)
     if (injectLocalOrCount(msg))
         return;
 
+    // The receiver-side hand-off: egress serialization + flight is the
+    // model's cross-node lookahead (networkLookahead), so the post
+    // always clears the parallel engine's window.
     Tick arrive = egressDone(msg) + params_.flightLatency;
-    eq_.scheduleAt(arrive, [this, msg] { arriveAtIngress(msg); });
+    ctx().post(msg.dst, arrive, chan::pair(msg.src, msg.dst, numNodes()),
+               [this, msg] { arriveAtIngress(msg); });
 }
 
 } // namespace ltp

@@ -5,18 +5,41 @@
 namespace ltp
 {
 
-NiInterconnect::NiInterconnect(EventQueue &eq, NodeId num_nodes,
-                               NetworkParams params, StatGroup &stats)
-    : eq_(eq),
-      params_(params),
-      msgsSent_(stats.counter("net.msgs")),
-      dataMsgs_(stats.counter("net.dataMsgs")),
-      endToEndLatency_(stats.average("net.endToEndLatency")),
-      latencyHist_(stats.histogram("net.endToEndLatency", 32.0, 256)),
+NiInterconnect::NiInterconnect(SimContext &ctx, NodeId num_nodes,
+                               NetworkParams params)
+    : params_(params),
+      ctx_(&ctx),
       niEgressFree_(num_nodes, 0),
       ingressQueue_(num_nodes),
       ingressBusy_(num_nodes, false),
       sinks_(num_nodes)
+{
+    unsigned shards = ctx_->numShards();
+    msgsSent_.reserve(shards);
+    dataMsgs_.reserve(shards);
+    endToEndLatency_.reserve(shards);
+    latencyHist_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+        StatGroup &stats = ctx_->shardStats(s);
+        msgsSent_.push_back(&stats.counter("net.msgs"));
+        dataMsgs_.push_back(&stats.counter("net.dataMsgs"));
+        endToEndLatency_.push_back(&stats.average("net.endToEndLatency"));
+        latencyHist_.push_back(
+            &stats.histogram("net.endToEndLatency", 32.0, 256));
+    }
+}
+
+NiInterconnect::NiInterconnect(std::unique_ptr<SimContext> owned,
+                               NodeId num_nodes, NetworkParams params)
+    : NiInterconnect(*owned, num_nodes, params)
+{
+    ownedCtx_ = std::move(owned);
+}
+
+NiInterconnect::NiInterconnect(EventQueue &eq, NodeId num_nodes,
+                               NetworkParams params, StatGroup &stats)
+    : NiInterconnect(std::make_unique<SequentialContext>(eq, stats),
+                     num_nodes, params)
 {
 }
 
@@ -31,15 +54,17 @@ bool
 NiInterconnect::injectLocalOrCount(Message &msg)
 {
     assert(msg.src < sinks_.size() && msg.dst < sinks_.size());
-    msg.injectedAt = eq_.now();
-    msgsSent_.inc();
+    EventQueue &eq = q(msg.src);
+    msg.injectedAt = eq.now();
+    unsigned shard = ctx_->shardOf(msg.src);
+    msgsSent_[shard]->inc();
     if (carriesData(msg.type))
-        dataMsgs_.inc();
+        dataMsgs_[shard]->inc();
 
     if (msg.src != msg.dst)
         return false;
     // Local delivery: no NI serialization, a nominal 1-cycle hop.
-    eq_.scheduleIn(1, [this, msg] { deliver(msg); });
+    eq.scheduleIn(1, [this, msg] { deliver(msg); });
     return true;
 }
 
@@ -47,7 +72,7 @@ Tick
 NiInterconnect::egressDone(const Message &msg)
 {
     Tick occ = niOccupancy(msg);
-    Tick start = std::max(eq_.now(), niEgressFree_[msg.src]);
+    Tick start = std::max(q(msg.src).now(), niEgressFree_[msg.src]);
     niEgressFree_[msg.src] = start + occ;
     return start + occ;
 }
@@ -75,7 +100,7 @@ NiInterconnect::drainIngress(NodeId node)
     // The busy flag serializes the NI: this event runs at (or, when the
     // NI went idle, after) the previous message's finish tick, so the
     // next service always starts now.
-    eq_.scheduleIn(niOccupancy(msg), [this, node, msg] {
+    q(node).scheduleIn(niOccupancy(msg), [this, node, msg] {
         deliver(msg);
         drainIngress(node);
     });
@@ -84,9 +109,10 @@ NiInterconnect::drainIngress(NodeId node)
 void
 NiInterconnect::deliver(const Message &msg)
 {
-    Tick lat = eq_.now() - msg.injectedAt;
-    endToEndLatency_.sample(double(lat));
-    latencyHist_.sample(double(lat));
+    Tick lat = q(msg.dst).now() - msg.injectedAt;
+    unsigned shard = ctx_->shardOf(msg.dst);
+    endToEndLatency_[shard]->sample(double(lat));
+    latencyHist_[shard]->sample(double(lat));
     sinks_[msg.dst](msg);
 }
 

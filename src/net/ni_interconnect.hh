@@ -9,17 +9,26 @@
  * ingress NI — a constant flight (Network) or a routed walk over FIFO
  * links (RoutedNetwork) — which keeps the NI contention and latency
  * accounting of all models identical by construction.
+ *
+ * Sharding: every piece of NI state is owned by one node — the egress
+ * server by the sender, the ingress queue and reorder state by the
+ * receiver — and every event here runs on the owning node's queue
+ * (SimContext::queueFor). Statistics are per-shard handles merged after
+ * the run. The only cross-node step, handing a message from the
+ * sender's fabric to the receiver, is the subclass's post() call.
  */
 
 #ifndef LTP_NET_NI_INTERCONNECT_HH
 #define LTP_NET_NI_INTERCONNECT_HH
 
+#include <cassert>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "net/message.hh"
 #include "net/topo/interconnect.hh"
-#include "sim/event_queue.hh"
+#include "sim/par/sim_context.hh"
 #include "sim/stats.hh"
 
 namespace ltp
@@ -34,8 +43,26 @@ class NiInterconnect : public Interconnect
     const NetworkParams &params() const override { return params_; }
 
   protected:
+    NiInterconnect(SimContext &ctx, NodeId num_nodes,
+                   NetworkParams params);
+
+    /** Sequential-engine convenience: owns a context over @p eq/@p stats. */
     NiInterconnect(EventQueue &eq, NodeId num_nodes, NetworkParams params,
                    StatGroup &stats);
+
+    /** The queue @p node's events run on. */
+    EventQueue &q(NodeId node) { return ctx_->queueFor(node); }
+
+    SimContext &ctx() { return *ctx_; }
+
+    /** Take ownership of the context a subclass built for a legacy
+     *  (EventQueue, StatGroup) constructor. @pre ctx() is *owned. */
+    void
+    adoptContext(std::unique_ptr<SimContext> owned)
+    {
+        assert(owned.get() == ctx_);
+        ownedCtx_ = std::move(owned);
+    }
 
     Tick niOccupancy(const Message &m) const
     {
@@ -53,22 +80,29 @@ class NiInterconnect : public Interconnect
     /** Serialize @p msg through its egress NI; returns the clear tick. */
     Tick egressDone(const Message &msg);
 
-    /** Hand @p msg (arriving from the subclass's fabric) to dst's NI. */
+    /** Hand @p msg (arriving from the subclass's fabric) to dst's NI.
+     *  Runs on the destination node's shard. */
     void arriveAtIngress(Message msg);
 
     /** Sample latency stats and hand @p msg to its sink. */
     virtual void deliver(const Message &msg);
 
-    EventQueue &eq_;
     NetworkParams params_;
 
-    Counter &msgsSent_;
-    Counter &dataMsgs_;
-    Average &endToEndLatency_;
-    Histogram &latencyHist_;
-
   private:
+    NiInterconnect(std::unique_ptr<SimContext> owned, NodeId num_nodes,
+                   NetworkParams params);
+
     void drainIngress(NodeId node);
+
+    SimContext *ctx_;
+    std::unique_ptr<SimContext> ownedCtx_; //!< legacy-constructor shim
+
+    // Shared stat names, one handle per shard (merged after the run).
+    std::vector<Counter *> msgsSent_;
+    std::vector<Counter *> dataMsgs_;
+    std::vector<Average *> endToEndLatency_;
+    std::vector<Histogram *> latencyHist_;
 
     /** Earliest tick each egress NI is free. */
     std::vector<Tick> niEgressFree_;

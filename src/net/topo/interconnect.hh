@@ -29,6 +29,7 @@ namespace ltp
 {
 
 class EventQueue;
+class SimContext;
 class StatGroup;
 
 /** Timing and topology knobs for the interconnect. */
@@ -79,6 +80,30 @@ struct NetworkParams
 void validateNetworkParams(const NetworkParams &params, NodeId num_nodes);
 
 /**
+ * The interconnect's guaranteed minimum cross-node latency — the
+ * conservative lookahead the parallel engine's windows are built on.
+ */
+struct NetLookahead
+{
+    /** Minimum ticks between any cross-node cause and its effect; 0
+     *  when the model cannot shard at all. */
+    Tick ticks = 0;
+    /** Why the model is serial-only (set iff ticks == 0). */
+    const char *serialReason = nullptr;
+};
+
+/**
+ * Export the lookahead of the model @p params selects.
+ *
+ * Point-to-point: egress serialization + wire flight. Routed: every
+ * cross-router interaction is at least one link serialization plus the
+ * wire and router pipeline; with finite vcDepth the wire-delayed credit
+ * return (hopLatency) bounds it instead. Oblivious routing draws from
+ * one shared RNG whose consumption order is global, so it cannot shard.
+ */
+NetLookahead networkLookahead(const NetworkParams &params);
+
+/**
  * Abstract message transport between DSM nodes.
  *
  * Contract (all implementations):
@@ -106,6 +131,11 @@ class Interconnect
 };
 
 /** Build the interconnect selected by @p params.topology. */
+std::unique_ptr<Interconnect> makeInterconnect(SimContext &ctx,
+                                               NodeId num_nodes,
+                                               NetworkParams params);
+
+/** Sequential-engine convenience overload (standalone drivers/tests). */
 std::unique_ptr<Interconnect> makeInterconnect(EventQueue &eq,
                                                NodeId num_nodes,
                                                NetworkParams params,

@@ -19,21 +19,28 @@ linkStatName(const char *what, NodeId from, NodeId to)
 
 } // namespace
 
-RoutedNetwork::RoutedNetwork(EventQueue &eq, NodeId num_nodes,
-                             NetworkParams params, StatGroup &stats)
-    : NiInterconnect(eq, num_nodes, params, stats),
+RoutedNetwork::RoutedNetwork(SimContext &ctx, NodeId num_nodes,
+                             NetworkParams params)
+    : NiInterconnect(ctx, num_nodes, params),
       geom_(params.topology, num_nodes, params.meshWidth),
       linkIdx_(std::size_t(num_nodes) * num_nodes, -1),
       sendSeq_(std::size_t(num_nodes) * num_nodes, 0),
       pairs_(std::size_t(num_nodes) * num_nodes),
-      rng_(0x0B11'0B11'0B11'0B11ull),
-      hops_(stats.counter("net.hops")),
-      hopsPerMsg_(stats.average("net.hopsPerMsg")),
-      escapeReroutes_(stats.counter("net.escapeReroutes")),
-      reorderHeld_(stats.counter("net.reorderHeld"))
+      rng_(0x0B11'0B11'0B11'0B11ull)
 {
     assert(params_.topology != TopologyKind::PointToPoint &&
            "use Network for the point-to-point model");
+    assert((ctx.numShards() == 1 ||
+            params_.routing != RoutingPolicy::Oblivious) &&
+           "oblivious routing is serial-only (shared RNG)");
+
+    for (unsigned s = 0; s < ctx.numShards(); ++s) {
+        StatGroup &stats = ctx.shardStats(s);
+        hops_.push_back(&stats.counter("net.hops"));
+        hopsPerMsg_.push_back(&stats.average("net.hopsPerMsg"));
+        escapeReroutes_.push_back(&stats.counter("net.escapeReroutes"));
+        reorderHeld_.push_back(&stats.counter("net.reorderHeld"));
+    }
 
     escapeVcs_ = geom_.wraps() ? 2 : 1;
     unsigned auto_vcs =
@@ -43,6 +50,9 @@ RoutedNetwork::RoutedNetwork(EventQueue &eq, NodeId num_nodes,
     assert(numVcs_ >= auto_vcs && "validateNetworkParams missed");
 
     for (NodeId from = 0; from < num_nodes; ++from) {
+        // A link's queue/credit/busy state is owned by its upstream
+        // router's shard: its counters register there too.
+        StatGroup &stats = ctx.shardStats(ctx.shardOf(from));
         for (NodeId to : geom_.neighbors(from)) {
             linkIdx_[std::size_t(from) * num_nodes + to] =
                 int(links_.size());
@@ -59,6 +69,20 @@ RoutedNetwork::RoutedNetwork(EventQueue &eq, NodeId num_nodes,
             links_.push_back(std::move(link));
         }
     }
+}
+
+RoutedNetwork::RoutedNetwork(std::unique_ptr<SimContext> owned,
+                             NodeId num_nodes, NetworkParams params)
+    : RoutedNetwork(*owned, num_nodes, params)
+{
+    adoptContext(std::move(owned));
+}
+
+RoutedNetwork::RoutedNetwork(EventQueue &eq, NodeId num_nodes,
+                             NetworkParams params, StatGroup &stats)
+    : RoutedNetwork(std::make_unique<SequentialContext>(eq, stats),
+                    num_nodes, params)
+{
 }
 
 int
@@ -112,8 +136,8 @@ RoutedNetwork::send(Message msg)
 
     msg.netSeq = sendSeq_[pairKey(msg.src, msg.dst)]++;
     msg.netVcFlags = 0;
-    eq_.scheduleAt(egressDone(msg),
-                   [this, msg] { forward(msg.src, msg, -1, 0); });
+    q(msg.src).scheduleAt(egressDone(msg),
+                          [this, msg] { forward(msg.src, msg, -1, 0); });
 }
 
 void
@@ -195,7 +219,7 @@ RoutedNetwork::drainLink(std::size_t l)
         Entry e = std::move(link.q[blocked]);
         link.q.erase(link.q.begin() +
                      std::deque<Entry>::difference_type(blocked));
-        escapeReroutes_.inc();
+        escapeReroutes_[ctx().shardOf(link.from)]->inc();
         NodeId dor = geom_.nextHop(link.from, e.msg.dst);
         e.vc = escapeVc(link.from, dor, e.msg);
         std::size_t el = routeLink(link.from, dor);
@@ -226,7 +250,7 @@ RoutedNetwork::grant(std::size_t l, Entry e)
     Tick ser = serializationTicks(e.msg);
     link.msgs->inc();
     link.busyCycles->inc(ser);
-    hops_.inc();
+    hops_[ctx().shardOf(link.from)]->inc();
 
     Message msg = e.msg;
     if (link.wrap)
@@ -236,22 +260,31 @@ RoutedNetwork::grant(std::size_t l, Entry e)
     // pipeline. Departures from a link are credit-gated but same-VC FIFO,
     // and the downstream delay is constant, so per-(src, dst) order is
     // preserved along any deterministic route.
-    Tick done = eq_.now() + ser;
-    eq_.scheduleAt(done, [this, l] {
+    //
+    // The link-free event stays on the upstream owner's queue; the
+    // arrival mutates the downstream router and crosses shards through
+    // post() with serialization + wire + pipeline of lookahead.
+    Tick done = q(link.from).now() + ser;
+    q(link.from).scheduleAt(done, [this, l] {
         links_[l].busy = false;
         drainLink(l);
     });
 
     Tick arrive = done + params_.hopLatency + params_.routerLatency;
     std::uint8_t vc = e.vc;
-    eq_.scheduleAt(arrive,
-                   [this, l, vc, msg] { arriveAtRouter(l, vc, msg); });
+    ctx().post(link.to, arrive, chan::link(l),
+               [this, l, vc, msg] { arriveAtRouter(l, vc, msg); });
 }
 
 void
 RoutedNetwork::scheduleCreditReturn(std::size_t l, std::uint8_t vc)
 {
-    eq_.scheduleAt(eq_.now() + params_.hopLatency, [this, l, vc] {
+    // Both callers (a downstream grant, an ejection) execute on the
+    // shard of links_[l].to — the router holding the freed buffer slot —
+    // while the credit mutates links_[l], owned by links_[l].from's
+    // shard one wire hop upstream.
+    Tick when = q(links_[l].to).now() + params_.hopLatency;
+    ctx().post(links_[l].from, when, chan::credit(l), [this, l, vc] {
         Link &link = links_[l];
         ++link.credits[vc];
         assert(link.credits[vc] <= params_.vcDepth &&
@@ -283,7 +316,7 @@ RoutedNetwork::reorderDeliver(const Message &msg)
     if (msg.netSeq != ps.nextSeq) {
         // An earlier injection of this pair is still in flight (adaptive
         // or oblivious routing took a different path); park this one.
-        reorderHeld_.inc();
+        reorderHeld_[ctx().shardOf(msg.dst)]->inc();
         ps.pending.emplace(msg.netSeq, msg);
         return;
     }
@@ -300,7 +333,8 @@ RoutedNetwork::reorderDeliver(const Message &msg)
 void
 RoutedNetwork::deliver(const Message &msg)
 {
-    hopsPerMsg_.sample(double(geom_.hopCount(msg.src, msg.dst)));
+    hopsPerMsg_[ctx().shardOf(msg.dst)]->sample(
+        double(geom_.hopCount(msg.src, msg.dst)));
     NiInterconnect::deliver(msg);
 }
 

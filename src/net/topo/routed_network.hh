@@ -62,6 +62,9 @@ namespace ltp
 class RoutedNetwork : public NiInterconnect
 {
   public:
+    RoutedNetwork(SimContext &ctx, NodeId num_nodes,
+                  NetworkParams params);
+
     RoutedNetwork(EventQueue &eq, NodeId num_nodes, NetworkParams params,
                   StatGroup &stats);
 
@@ -103,6 +106,9 @@ class RoutedNetwork : public NiInterconnect
     }
 
   private:
+    RoutedNetwork(std::unique_ptr<SimContext> owned, NodeId num_nodes,
+                  NetworkParams params);
+
     /** A message waiting in an input buffer for one output link. */
     struct Entry
     {
@@ -192,13 +198,18 @@ class RoutedNetwork : public NiInterconnect
     /** Per-(src, dst) ingress reorder buffers. */
     std::vector<PairState> pairs_;
 
-    /** Oblivious-routing coin flips (fixed seed: runs are repeatable). */
+    /** Oblivious-routing coin flips (fixed seed: runs are repeatable).
+     *  Shared across routers, which is why oblivious routing is
+     *  serial-only (see networkLookahead). */
     Rng rng_;
 
-    Counter &hops_;
-    Average &hopsPerMsg_;
-    Counter &escapeReroutes_;
-    Counter &reorderHeld_;
+    // Shared stat names, one handle per shard (merged after the run).
+    // Router-side stats index by the link owner's shard, delivery-side
+    // stats by the destination's shard.
+    std::vector<Counter *> hops_;
+    std::vector<Average *> hopsPerMsg_;
+    std::vector<Counter *> escapeReroutes_;
+    std::vector<Counter *> reorderHeld_;
 };
 
 } // namespace ltp

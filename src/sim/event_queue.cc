@@ -148,6 +148,44 @@ EventQueue::popNextLive(Tick limit)
     return -1;
 }
 
+Tick
+EventQueue::nextEventTick()
+{
+    while (liveEvents_ > 0) {
+        migrate();
+
+        if (bucketedEntries_ > 0) {
+            std::size_t idx = firstBucket();
+            Bucket &b = buckets_[idx];
+            while (b.head < b.ids.size()) {
+                EventId id = b.ids[b.head];
+                std::uint32_t slot = std::uint32_t(id & slotMask);
+                if (slots_[slot].id != id) {
+                    ++b.head; // tombstone from a cancelled event
+                    --bucketedEntries_;
+                    continue;
+                }
+                return slots_[slot].when;
+            }
+            clearBucket(idx); // all tombstones: rescan
+            continue;
+        }
+
+        while (!overflow_.empty()) {
+            OverflowEntry e = overflow_.top();
+            std::uint32_t slot = std::uint32_t(e.id & slotMask);
+            if (slots_[slot].id != e.id) {
+                overflow_.pop(); // tombstone
+                continue;
+            }
+            return e.when;
+        }
+        assert(false && "live events but empty ring and overflow");
+        break;
+    }
+    return tickNever;
+}
+
 void
 EventQueue::executeSlot(std::uint32_t slot)
 {

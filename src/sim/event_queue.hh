@@ -119,6 +119,14 @@ class EventQueue
     std::uint64_t eventsExecuted() const { return executed_; }
 
     /**
+     * Tick of the earliest pending (non-cancelled) event, or tickNever
+     * when the queue is drained. Used by the parallel engine to plan
+     * conservative windows; prunes tombstones as a side effect but
+     * never dequeues or executes anything.
+     */
+    Tick nextEventTick();
+
+    /**
      * Size of the slot arena (diagnostics/tests). Grows to the high-water
      * mark of concurrently pending events, then stays flat: steady-state
      * scheduling recycles slots instead of allocating.

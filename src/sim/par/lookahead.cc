@@ -1,0 +1,42 @@
+#include "sim/par/lookahead.hh"
+
+#include <algorithm>
+
+namespace ltp
+{
+
+ShardPlan
+resolveShardPlan(const LookaheadInputs &in)
+{
+    ShardPlan plan;
+    plan.shards = 1;
+
+    if (in.zeroLookaheadCoupling) {
+        plan.serialReason = in.zeroLookaheadCoupling;
+        return plan;
+    }
+    if (in.netLookahead == 0) {
+        plan.serialReason = in.netSerialReason
+                                ? in.netSerialReason
+                                : "interconnect has no cross-node lookahead";
+        return plan;
+    }
+
+    // Barrier wakeups are posted barrierLatency ticks after the last
+    // arrival, so they bound the window alongside the network.
+    Tick window = std::min(in.netLookahead, in.barrierLatency);
+    if (window < 1) {
+        plan.serialReason = "zero barrier latency leaves no lookahead";
+        return plan;
+    }
+
+    // A safe configuration always runs the canonical engine, even when
+    // only one thread is requested: a 1-shard canonical run is what the
+    // shards {1, 2, 4, ...} bit-identity guarantee is anchored on.
+    plan.shards = std::max(1u, std::min<unsigned>(in.requestedThreads,
+                                                  in.numNodes));
+    plan.window = window;
+    return plan;
+}
+
+} // namespace ltp

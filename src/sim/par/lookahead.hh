@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Conservative-lookahead planning for the parallel engine.
+ *
+ * A node-partitioned run is only correct when every cross-shard
+ * interaction is separated from its cause by at least the window width
+ * L (the classic conservative-DES precondition). The paper's machine
+ * hands us that lookahead: the interconnect's minimum cross-node
+ * latency (80-cycle point-to-point flight; serialization + wire +
+ * router pipeline on every routed hop). resolveShardPlan() combines
+ *
+ *  - the network's exported lookahead (networkLookahead() in
+ *    net/topo/interconnect.hh, passed in here as a plain number so the
+ *    sim layer stays below net),
+ *  - the sync domain's barrier latency (barrier wakeups are the other
+ *    cross-shard channel), and
+ *  - system couplings with *zero* lookahead, which force the serial
+ *    fallback: an Active predictor's directory-verification feedback is
+ *    wired combinationally from the home directory into the
+ *    self-invalidating node's predictor, and oblivious routing draws
+ *    from one shared RNG whose consumption order is global.
+ *
+ * The fallback is not a failure mode: a plan with shards == 1 simply
+ * runs the historical sequential engine, so every configuration remains
+ * supported and bit-reproducible; only configurations whose couplings
+ * all have >= 1 cycle of lookahead execute on multiple threads.
+ */
+
+#ifndef LTP_SIM_PAR_LOOKAHEAD_HH
+#define LTP_SIM_PAR_LOOKAHEAD_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+/** Everything the planner needs, as plain numbers (no layering cycle). */
+struct LookaheadInputs
+{
+    unsigned requestedThreads = 1;
+    NodeId numNodes = 1;
+    /** Minimum cross-node latency of the interconnect model; 0 when the
+     *  model cannot shard at all (serialReason explains why). */
+    Tick netLookahead = 0;
+    const char *netSerialReason = nullptr;
+    /** SyncDomain release delay (barrier wakeups cross shards). */
+    Tick barrierLatency = 0;
+    /** Set when the run has a zero-lookahead cross-node coupling above
+     *  the network (Active predictor verification feedback). */
+    const char *zeroLookaheadCoupling = nullptr;
+};
+
+/** The engine configuration a run will actually use. */
+struct ShardPlan
+{
+    unsigned shards = 1; //!< partitions/threads the engine runs
+    Tick window = 0;     //!< conservative window width L (canonical only)
+    /** Why the run fell back to the plain sequential engine (empty for
+     *  the canonical engine, whatever the shard count). */
+    std::string serialReason;
+
+    /** True when the canonical windowed engine runs (any shard count). */
+    bool canonical() const { return serialReason.empty(); }
+    /** True when more than one worker thread actually executes. */
+    bool parallel() const { return shards > 1; }
+};
+
+/** Decide shards and window width for a run. */
+ShardPlan resolveShardPlan(const LookaheadInputs &in);
+
+} // namespace ltp
+
+#endif // LTP_SIM_PAR_LOOKAHEAD_HH

@@ -1,0 +1,185 @@
+#include "sim/par/parallel_scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace ltp
+{
+
+namespace
+{
+
+/**
+ * Which shard the current OS thread executes. Shard threads are pinned
+ * to one partition for a whole run, so post() can find its outgoing
+ * lane without any synchronization.
+ */
+thread_local unsigned tlsShard = 0;
+
+} // namespace
+
+ParallelScheduler::ParallelScheduler(unsigned shards, NodeId num_nodes,
+                                     Tick window)
+    : shard_(num_nodes), window_(window), barrier_(shards)
+{
+    assert(shards >= 1 && shards <= num_nodes);
+    assert(window >= 1 && "conservative window needs lookahead");
+
+    parts_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+        auto p = std::make_unique<Partition>();
+        p->out.resize(shards);
+        parts_.push_back(std::move(p));
+    }
+    // Contiguous blocks: neighbors (and mesh rows) tend to share a
+    // shard, which keeps cross-shard traffic low on local topologies.
+    for (NodeId n = 0; n < num_nodes; ++n)
+        shard_[n] = unsigned((std::uint64_t(n) * shards) / num_nodes);
+}
+
+ParallelScheduler::~ParallelScheduler() = default;
+
+void
+ParallelScheduler::post(NodeId dst, Tick when, std::uint64_t chan,
+                        EventQueue::Callback cb)
+{
+    unsigned from = tlsShard;
+    unsigned to = shard_[dst];
+    assert(from < parts_.size());
+    // The conservative contract: a post must land strictly beyond the
+    // window it was made from (windowEnd_ is 0 before the first round,
+    // so setup-time posts pass). Violations would otherwise surface
+    // only as silent shard-count-dependent results.
+    assert(when > windowEnd_.load(std::memory_order_relaxed) &&
+           "post() inside the current window: lookahead contract broken");
+    parts_[from]->out[to].push_back(PostItem{when, chan, std::move(cb)});
+}
+
+void
+ParallelScheduler::applyInbox(unsigned shard)
+{
+    // Gather the lanes addressed to this shard. Collection order (by
+    // source shard) only matters as a stable-sort tie-break, and ties
+    // are impossible across lanes: a channel is fed by one shard, so
+    // items from different lanes never share (when, chan).
+    std::vector<PostItem> &items = parts_[shard]->inbox;
+    for (auto &src : parts_) {
+        auto &lane = src->out[shard];
+        if (lane.empty())
+            continue;
+        items.insert(items.end(), std::make_move_iterator(lane.begin()),
+                     std::make_move_iterator(lane.end()));
+        lane.clear();
+    }
+    if (items.empty())
+        return;
+
+    std::stable_sort(items.begin(), items.end(),
+                     [](const PostItem &a, const PostItem &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         return a.chan < b.chan;
+                     });
+    EventQueue &eq = parts_[shard]->eq;
+    for (auto &item : items)
+        eq.scheduleAt(item.when, std::move(item.cb));
+    items.clear();
+}
+
+void
+ParallelScheduler::planWindow(Tick limit)
+{
+    if (error_) {
+        stop_.store(true, std::memory_order_relaxed);
+        return;
+    }
+    Tick w = tickNever;
+    for (auto &p : parts_)
+        w = std::min(w, p->nextTick.load(std::memory_order_relaxed));
+    if (w == tickNever || w > limit) {
+        stop_.store(true, std::memory_order_relaxed);
+        return;
+    }
+    windowEnd_.store(std::min(w + window_ - 1, limit),
+                     std::memory_order_relaxed);
+}
+
+void
+ParallelScheduler::workerLoop(unsigned shard, Tick limit)
+{
+    tlsShard = shard;
+    Partition &p = *parts_[shard];
+    for (;;) {
+        applyInbox(shard);
+        p.nextTick.store(p.eq.nextEventTick(), std::memory_order_relaxed);
+
+        barrier_.arriveAndWait([this, limit] { planWindow(limit); });
+        if (stop_.load(std::memory_order_relaxed))
+            break;
+
+        try {
+            p.eq.runUntil(windowEnd_.load(std::memory_order_relaxed));
+        } catch (...) {
+            std::lock_guard<std::mutex> g(errorMu_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+
+        barrier_.arriveAndWait(); // publish lanes for the next round
+    }
+}
+
+Tick
+ParallelScheduler::runUntil(Tick limit)
+{
+    stop_.store(false, std::memory_order_relaxed);
+
+    std::vector<std::thread> workers;
+    workers.reserve(parts_.size() - 1);
+    for (unsigned s = 1; s < parts_.size(); ++s)
+        workers.emplace_back([this, s, limit] { workerLoop(s, limit); });
+    workerLoop(0, limit);
+    for (auto &t : workers)
+        t.join();
+
+    if (error_) {
+        std::exception_ptr e = error_;
+        error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+    return now();
+}
+
+Tick
+ParallelScheduler::now() const
+{
+    Tick t = 0;
+    for (const auto &p : parts_)
+        t = std::max(t, p->eq.now());
+    return t;
+}
+
+std::uint64_t
+ParallelScheduler::eventsExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : parts_)
+        n += p->eq.eventsExecuted();
+    return n;
+}
+
+StatGroup &
+ParallelScheduler::stats()
+{
+    // Rebuild in place: resetAll() zeroes entries without erasing them
+    // and names only ever accumulate, so references handed out by a
+    // previous call stay valid (std::map nodes are stable). It is still
+    // a snapshot — writes to it are discarded by the next rebuild.
+    merged_.resetAll();
+    for (auto &p : parts_)
+        merged_.mergeFrom(p->stats);
+    return merged_;
+}
+
+} // namespace ltp

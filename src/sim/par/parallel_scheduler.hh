@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ParallelScheduler: node-partitioned, conservative, bit-deterministic
+ * parallel discrete-event engine.
+ *
+ * Nodes are split into S contiguous partitions, each owning a private
+ * EventQueue and StatGroup. Intra-shard events execute exactly as in
+ * the sequential engine; cross-shard interactions — which only occur
+ * through SimContext::post(), every one of them at least the lookahead
+ * window L beyond its cause — are buffered in single-writer mailbox
+ * lanes and exchanged at window barriers.
+ *
+ * One round:
+ *
+ *   1. apply inbox    every shard drains the lanes addressed to it,
+ *                     sorted by (deliveryTick, channel): the canonical
+ *                     merge order. Each channel is fed by exactly one
+ *                     shard, so the sort is a total, thread-timing- and
+ *                     shard-count-independent order.
+ *   2. plan window    barrier; the last arriver computes the global
+ *                     minimum pending tick W and the window end
+ *                     min(W + L - 1, limit), or stops the run.
+ *   3. execute        every shard runs its queue through the window.
+ *                     Lookahead guarantees any post lands at >= W + L,
+ *                     i.e. strictly beyond the window, so no shard can
+ *                     see an effect before its cause.
+ *   4. publish        barrier; lane writes become visible for step 1.
+ *
+ * Determinism: each shard's execution is a function of its queue
+ * content only; queue content is the deterministic intra-shard schedule
+ * plus inbox applications in canonical order. Per-channel post order is
+ * the feeding shard's deterministic execution order. Nothing observes
+ * wall-clock interleaving, so S = 2 and S = 8 produce identical
+ * per-node event sequences — and identical (merged) statistics.
+ */
+
+#ifndef LTP_SIM_PAR_PARALLEL_SCHEDULER_HH
+#define LTP_SIM_PAR_PARALLEL_SCHEDULER_HH
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/par/sim_context.hh"
+#include "sim/par/window_barrier.hh"
+
+namespace ltp
+{
+
+/** The multi-shard SimContext (see file comment). */
+class ParallelScheduler final : public SimContext
+{
+  public:
+    /**
+     * @param shards   partition/thread count. One is valid — and is how
+     *                 simThreads=1 runs on parallel-safe configurations:
+     *                 the same canonical window/merge semantics on the
+     *                 calling thread, so results match every other shard
+     *                 count bit for bit.
+     * @param num_nodes nodes to spread over the partitions.
+     * @param window   conservative lookahead L in ticks (>= 1); every
+     *                 post() must land at least this far after its
+     *                 posting event.
+     */
+    ParallelScheduler(unsigned shards, NodeId num_nodes, Tick window);
+    ~ParallelScheduler() override;
+
+    unsigned numShards() const override
+    {
+        return unsigned(parts_.size());
+    }
+    bool canonical() const override { return true; }
+    unsigned shardOf(NodeId node) const override { return shard_[node]; }
+    EventQueue &queueFor(NodeId node) override
+    {
+        return parts_[shard_[node]]->eq;
+    }
+    StatGroup &shardStats(unsigned shard) override
+    {
+        return parts_[shard]->stats;
+    }
+
+    void post(NodeId dst, Tick when, std::uint64_t chan,
+              EventQueue::Callback cb) override;
+
+    Tick runUntil(Tick limit) override;
+    Tick now() const override;
+    std::uint64_t eventsExecuted() const override;
+
+    /** Aggregate view over the per-shard groups (rebuilt per call). */
+    StatGroup &stats() override;
+
+    Tick window() const { return window_; }
+
+  private:
+    /** One buffered cross-shard event. */
+    struct PostItem
+    {
+        Tick when;
+        std::uint64_t chan;
+        EventQueue::Callback cb;
+    };
+
+    struct Partition
+    {
+        EventQueue eq;
+        StatGroup stats;
+        /** Outgoing mail, one single-writer lane per destination shard. */
+        std::vector<std::vector<PostItem>> out;
+        /** Reused merge buffer for applyInbox (avoids per-round churn). */
+        std::vector<PostItem> inbox;
+        /** Earliest pending tick, published for window planning. */
+        std::atomic<Tick> nextTick{tickNever};
+    };
+
+    void workerLoop(unsigned shard, Tick limit);
+    void applyInbox(unsigned shard);
+    void planWindow(Tick limit);
+
+    std::vector<std::unique_ptr<Partition>> parts_;
+    std::vector<unsigned> shard_; //!< node -> shard
+    Tick window_;
+
+    WindowBarrier barrier_;
+    std::atomic<Tick> windowEnd_{0};
+    std::atomic<bool> stop_{false};
+
+    std::mutex errorMu_;
+    std::exception_ptr error_;
+
+    StatGroup merged_;
+};
+
+} // namespace ltp
+
+#endif // LTP_SIM_PAR_PARALLEL_SCHEDULER_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * SimContext: the seam between simulation components and the engine
+ * that executes them.
+ *
+ * Every component (network, controllers, thread contexts, sync domain)
+ * schedules its events through a SimContext instead of holding a raw
+ * EventQueue. The context decides where an event lives:
+ *
+ *  - SequentialContext (this file): one EventQueue, one StatGroup.
+ *    queueFor()/post() degenerate to the plain scheduleAt() calls the
+ *    sequential simulator always made, so a 1-shard run is bit-identical
+ *    to the historical single-threaded engine.
+ *
+ *  - ParallelScheduler (parallel_scheduler.hh): nodes are sharded over
+ *    several partitions, each with its own EventQueue and StatGroup,
+ *    executed by worker threads under conservative lookahead windows.
+ *
+ * The contract that makes sharding safe:
+ *
+ *  - All state a component mutates from an event belongs to one node
+ *    (or one link, owned by its upstream node), and that event runs on
+ *    the owning node's queue (queueFor()).
+ *
+ *  - The only cross-node interactions are post() calls, and every
+ *    post() targets a tick at least the engine's lookahead window
+ *    beyond the posting event. The network guarantees this through its
+ *    minimum link/flight latency (see networkLookahead()).
+ *
+ *  - post() carries a *channel id* identifying the logical FIFO the
+ *    event travels on (a (src, dst) pair, a physical link, a barrier
+ *    slot). The parallel engine applies buffered posts at window
+ *    barriers sorted by (tick, channel), and a channel is only ever fed
+ *    by one shard, so the merged order is deterministic: independent of
+ *    thread timing AND of the shard count.
+ */
+
+#ifndef LTP_SIM_PAR_SIM_CONTEXT_HH
+#define LTP_SIM_PAR_SIM_CONTEXT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ltp
+{
+
+/**
+ * Channel-id helpers for post(). The spaces are disjoint; ids only need
+ * to be unique per logical FIFO channel (and each channel must be fed
+ * from a single shard for the canonical merge order to be total).
+ */
+namespace chan
+{
+
+constexpr std::uint64_t spaceShift = 60;
+
+/** Point-to-point flight of the (src, dst) node pair. */
+constexpr std::uint64_t
+pair(NodeId src, NodeId dst, NodeId num_nodes)
+{
+    return (std::uint64_t(0) << spaceShift) |
+           (std::uint64_t(src) * num_nodes + dst);
+}
+
+/** Hop arrivals leaving physical link @p link_index. */
+constexpr std::uint64_t
+link(std::size_t link_index)
+{
+    return (std::uint64_t(1) << spaceShift) | link_index;
+}
+
+/** Credit returns for physical link @p link_index. */
+constexpr std::uint64_t
+credit(std::size_t link_index)
+{
+    return (std::uint64_t(2) << spaceShift) | link_index;
+}
+
+/** Barrier-release wakeups for @p node. */
+constexpr std::uint64_t
+barrier(NodeId node)
+{
+    return (std::uint64_t(3) << spaceShift) | node;
+}
+
+} // namespace chan
+
+/** Where simulation components schedule their events. */
+class SimContext
+{
+  public:
+    virtual ~SimContext() = default;
+
+    /** Number of partitions events are sharded over (1 = sequential). */
+    virtual unsigned numShards() const = 0;
+
+    /**
+     * True when the engine applies post() calls in the canonical
+     * (tick, channel) order — the ParallelScheduler at ANY shard count,
+     * including one. False for the plain sequential engine, whose
+     * post() order is raw schedule order. Components with a choice of
+     * protocols (SyncDomain) key on this, never on numShards(), so a
+     * 1-shard canonical run stays bit-identical to an 8-shard one.
+     */
+    virtual bool canonical() const = 0;
+
+    /** Partition that owns @p node's events. */
+    virtual unsigned shardOf(NodeId node) const = 0;
+
+    /** The event queue @p node's events run on. */
+    virtual EventQueue &queueFor(NodeId node) = 0;
+
+    /** Statistics registry of partition @p shard. */
+    virtual StatGroup &shardStats(unsigned shard) = 0;
+
+    /**
+     * Schedule @p cb at absolute tick @p when on @p dst's queue, from an
+     * event possibly running on another shard.
+     *
+     * @p chan identifies the logical FIFO the event belongs to (see
+     * namespace chan). @p when must be at least the engine's lookahead
+     * window beyond the posting event's tick.
+     */
+    virtual void post(NodeId dst, Tick when, std::uint64_t chan,
+                      EventQueue::Callback cb) = 0;
+
+    /** Drive the simulation until drained or beyond @p limit. */
+    virtual Tick runUntil(Tick limit) = 0;
+
+    /** Latest tick any partition has reached. */
+    virtual Tick now() const = 0;
+
+    /** Total events executed across all partitions. */
+    virtual std::uint64_t eventsExecuted() const = 0;
+
+    /**
+     * The whole run's statistics. Sequentially this is the one group;
+     * the parallel engine merges its per-shard groups into an
+     * aggregate view (rebuilt on each call).
+     */
+    virtual StatGroup &stats() = 0;
+};
+
+/** The historical single-threaded engine behind the SimContext seam. */
+class SequentialContext final : public SimContext
+{
+  public:
+    /** Own a fresh queue and stat group (the DsmSystem case). */
+    SequentialContext()
+        : owned_(std::make_unique<Owned>()),
+          eq_(&owned_->eq),
+          stats_(&owned_->stats)
+    {
+    }
+
+    /** Borrow an existing queue/group (standalone network tests). */
+    SequentialContext(EventQueue &eq, StatGroup &stats)
+        : eq_(&eq), stats_(&stats)
+    {
+    }
+
+    unsigned numShards() const override { return 1; }
+    bool canonical() const override { return false; }
+    unsigned shardOf(NodeId) const override { return 0; }
+    EventQueue &queueFor(NodeId) override { return *eq_; }
+    StatGroup &shardStats(unsigned) override { return *stats_; }
+
+    void
+    post(NodeId, Tick when, std::uint64_t, EventQueue::Callback cb) override
+    {
+        eq_->scheduleAt(when, std::move(cb));
+    }
+
+    Tick runUntil(Tick limit) override { return eq_->runUntil(limit); }
+    Tick now() const override { return eq_->now(); }
+    std::uint64_t eventsExecuted() const override
+    {
+        return eq_->eventsExecuted();
+    }
+    StatGroup &stats() override { return *stats_; }
+
+  private:
+    struct Owned
+    {
+        EventQueue eq;
+        StatGroup stats;
+    };
+
+    std::unique_ptr<Owned> owned_;
+    EventQueue *eq_;
+    StatGroup *stats_;
+};
+
+} // namespace ltp
+
+#endif // LTP_SIM_PAR_SIM_CONTEXT_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * WindowBarrier: the synchronization point between parallel-engine
+ * rounds.
+ *
+ * A sense-reversing spin barrier for a small, fixed set of shard
+ * threads. The last thread to arrive runs a completion callable while
+ * every other thread is parked — that is where the engine merges
+ * cross-shard mailboxes and plans the next conservative window with
+ * all shards quiescent — then releases the generation.
+ *
+ * Windows are tens of microseconds of work, so waiters spin with a
+ * cpu-relax hint first and only fall back to yielding; a futex/condvar
+ * would cost more than the wait. When the machine has fewer cores than
+ * parties (oversubscribed), spinning only steals the running thread's
+ * timeslice, so waiters yield immediately instead.
+ */
+
+#ifndef LTP_SIM_PAR_WINDOW_BARRIER_HH
+#define LTP_SIM_PAR_WINDOW_BARRIER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace ltp
+{
+
+/** Reusable barrier with a serial completion phase. */
+class WindowBarrier
+{
+  public:
+    explicit WindowBarrier(unsigned parties)
+        : parties_(parties),
+          spinLimit_(parties <= std::thread::hardware_concurrency()
+                         ? 4096u
+                         : 0u)
+    {
+    }
+
+    WindowBarrier(const WindowBarrier &) = delete;
+    WindowBarrier &operator=(const WindowBarrier &) = delete;
+
+    /**
+     * Arrive; the last arriver runs @p completion (alone), then all
+     * parties proceed. Release/acquire ordering on the generation word
+     * makes every write before any arrive visible to every thread after
+     * the corresponding return.
+     */
+    template <typename F>
+    void
+    arriveAndWait(F &&completion)
+    {
+        std::uint64_t gen = generation_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            completion();
+            arrived_.store(0, std::memory_order_relaxed);
+            generation_.fetch_add(1, std::memory_order_release);
+            return;
+        }
+        unsigned spins = 0;
+        while (generation_.load(std::memory_order_acquire) == gen) {
+            if (++spins < spinLimit_) {
+#if defined(__x86_64__) || defined(__i386__)
+                __builtin_ia32_pause();
+#endif
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+    /** Arrive with no completion work. */
+    void arriveAndWait() { arriveAndWait([] {}); }
+
+    unsigned parties() const { return parties_; }
+
+  private:
+    const unsigned parties_;
+    const unsigned spinLimit_; //!< 0 when oversubscribed: yield at once
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+} // namespace ltp
+
+#endif // LTP_SIM_PAR_WINDOW_BARRIER_HH

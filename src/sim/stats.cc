@@ -23,6 +23,22 @@ Average::sample(double v)
 }
 
 void
+Average::merge(const Average &o)
+{
+    if (o.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = o.min_;
+        max_ = o.max_;
+    } else {
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+    sum_ += o.sum_;
+    count_ += o.count_;
+}
+
+void
 Average::reset()
 {
     sum_ = 0.0;
@@ -52,6 +68,18 @@ Histogram::sample(double v)
         ++buckets_[static_cast<std::size_t>(idx)];
     else
         ++buckets_[0];
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    assert(width_ == o.width_ && buckets_.size() == o.buckets_.size() &&
+           "merging histograms of different shapes");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += o.buckets_[i];
+    overflow_ += o.overflow_;
+    total_ += o.total_;
+    sum_ += o.sum_;
 }
 
 double
@@ -169,6 +197,18 @@ StatGroup::sumCountersWithPrefix(const std::string &prefix) const
          ++it)
         sum += it->second.value();
     return sum;
+}
+
+void
+StatGroup::mergeFrom(const StatGroup &o)
+{
+    for (const auto &[name, c] : o.counters_)
+        counters_[name].inc(c.value());
+    for (const auto &[name, a] : o.averages_)
+        averages_[name].merge(a);
+    for (const auto &[name, h] : o.histograms_) {
+        histogram(name, h.bucketWidth(), h.numBuckets()).merge(h);
+    }
 }
 
 void

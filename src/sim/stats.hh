@@ -42,6 +42,10 @@ class Average
   public:
     void sample(double v);
 
+    /** Fold another average's samples into this one (exact for the
+     *  tick-valued samples the simulator records). */
+    void merge(const Average &o);
+
     double sum() const { return sum_; }
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
@@ -67,6 +71,9 @@ class Histogram
 
     /** Record @p v. Negative (or NaN) samples clamp into bucket 0. */
     void sample(double v);
+
+    /** Fold another histogram (same shape) into this one. */
+    void merge(const Histogram &o);
 
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
     std::uint64_t overflow() const { return overflow_; }
@@ -128,7 +135,21 @@ class StatGroup
     /** Sum of all counters whose name starts with @p prefix. */
     std::uint64_t sumCountersWithPrefix(const std::string &prefix) const;
 
-    /** Dump every statistic, sorted by name, one per line. */
+    /**
+     * Fold another group into this one: counters add, averages and
+     * histograms (same shape) merge, names absent here are created.
+     * The parallel engine uses this to aggregate per-shard groups; all
+     * merged quantities are integer-valued sums, so the result is
+     * bit-identical to single-group accumulation regardless of how
+     * samples were spread over shards.
+     */
+    void mergeFrom(const StatGroup &o);
+
+    /**
+     * Dump every statistic, one per line. The registries are sorted
+     * maps, so the output is canonical: a name-sorted order that does
+     * not depend on registration (or shard construction) order.
+     */
     void dump(std::ostream &os) const;
 
     /** Reset every statistic to zero. */

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Bit-determinism of the node-partitioned parallel engine.
+ *
+ * The engine's contract: a run's FULL observable output — every
+ * statistic, cycle count and memory operation — is identical for every
+ * simThreads value, including 1. These tests run a matrix of kernels x
+ * topologies at shards {1, 2, 4} and compare byte-for-byte stats dumps,
+ * plus the Figure 6 (Passive predictor) and Table 4 (Active predictor,
+ * serial-fallback) methodologies the paper's results hang on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "dsm/system.hh"
+#include "kernel/kernels.hh"
+
+namespace ltp
+{
+namespace
+{
+
+struct RunOutput
+{
+    std::string dump; //!< full canonical stats dump
+    Tick cycles = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t events = 0;
+    bool completed = false;
+    unsigned shards = 0;
+    std::string serialReason;
+};
+
+RunOutput
+runCell(const std::string &kernel_name, TopologyKind topo,
+        RoutingPolicy routing, unsigned threads,
+        PredictorKind pred = PredictorKind::Base,
+        PredictorMode mode = PredictorMode::Off, NodeId nodes = 16)
+{
+    SystemParams sp = SystemParams::withPredictor(pred, mode);
+    sp.numNodes = nodes;
+    sp.net.topology = topo;
+    sp.net.routing = routing;
+    sp.simThreads = threads;
+
+    DsmSystem sys(sp);
+    auto kernel = makeKernel(kernel_name);
+    KernelConfig cfg = defaultConfig(kernel_name);
+    cfg.nodes = nodes;
+    RunResult r = sys.run(*kernel, cfg);
+
+    RunOutput out;
+    std::ostringstream oss;
+    sys.stats().dump(oss);
+    out.dump = oss.str();
+    out.cycles = r.cycles;
+    out.memOps = r.memOps;
+    out.events = r.eventsExecuted;
+    out.completed = r.completed;
+    out.shards = sys.shardPlan().shards;
+    out.serialReason = sys.shardPlan().serialReason;
+    return out;
+}
+
+void
+expectIdentical(const RunOutput &a, const RunOutput &b,
+                const std::string &what)
+{
+    EXPECT_TRUE(a.completed) << what;
+    EXPECT_TRUE(b.completed) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.memOps, b.memOps) << what;
+    EXPECT_EQ(a.events, b.events) << what;
+    EXPECT_EQ(a.dump, b.dump) << what;
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(ParallelDeterminism, StatsDumpsAreByteIdenticalAcrossShardCounts)
+{
+    const char *kernel = std::get<0>(GetParam());
+    int topo_case = std::get<1>(GetParam());
+    TopologyKind topo = topo_case == 0   ? TopologyKind::PointToPoint
+                        : topo_case == 1 ? TopologyKind::Mesh2D
+                                         : TopologyKind::Torus2D;
+    RoutingPolicy routing = topo_case == 2 ? RoutingPolicy::MinimalAdaptive
+                                           : RoutingPolicy::DimensionOrder;
+
+    RunOutput s1 = runCell(kernel, topo, routing, 1);
+    RunOutput s2 = runCell(kernel, topo, routing, 2);
+    RunOutput s4 = runCell(kernel, topo, routing, 4);
+
+    std::string what = std::string(kernel) + "/" +
+                       topologyKindName(topo) + "/" +
+                       routingPolicyName(routing);
+    EXPECT_EQ(s2.shards, 2u) << what;
+    EXPECT_EQ(s4.shards, 4u) << what;
+    expectIdentical(s1, s2, what + " s1 vs s2");
+    expectIdentical(s1, s4, what + " s1 vs s4");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelTopologyMatrix, ParallelDeterminism,
+    ::testing::Combine(::testing::Values("ocean", "em3d", "moldyn"),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(ParallelDeterminismModes, PassivePredictorShardsAndStaysIdentical)
+{
+    // Figure 6 methodology: Passive LTP never self-invalidates, so the
+    // directory-feedback wire stays cold and the run shards for real.
+    RunOutput s1 = runCell("em3d", TopologyKind::Mesh2D,
+                           RoutingPolicy::DimensionOrder, 1,
+                           PredictorKind::LtpPerBlock,
+                           PredictorMode::Passive);
+    RunOutput s4 = runCell("em3d", TopologyKind::Mesh2D,
+                           RoutingPolicy::DimensionOrder, 4,
+                           PredictorKind::LtpPerBlock,
+                           PredictorMode::Passive);
+    EXPECT_EQ(s4.shards, 4u);
+    EXPECT_TRUE(s4.serialReason.empty()) << s4.serialReason;
+    expectIdentical(s1, s4, "ltp-passive mesh");
+}
+
+TEST(ParallelDeterminismModes, ActivePredictorFallsBackToSerial)
+{
+    // Table 4 methodology: Active predictors are trained through the
+    // directory's zero-lookahead verification wire, so the planner must
+    // refuse to shard — and the output must still be simThreads-
+    // invariant because both runs use the same (sequential) engine.
+    RunOutput s1 = runCell("em3d", TopologyKind::Torus2D,
+                           RoutingPolicy::DimensionOrder, 1,
+                           PredictorKind::LtpPerBlock,
+                           PredictorMode::Active);
+    RunOutput s4 = runCell("em3d", TopologyKind::Torus2D,
+                           RoutingPolicy::DimensionOrder, 4,
+                           PredictorKind::LtpPerBlock,
+                           PredictorMode::Active);
+    EXPECT_EQ(s4.shards, 1u);
+    EXPECT_FALSE(s4.serialReason.empty());
+    expectIdentical(s1, s4, "ltp-active torus");
+}
+
+TEST(ParallelDeterminismModes, ObliviousRoutingFallsBackToSerial)
+{
+    RunOutput s4 = runCell("ocean", TopologyKind::Torus2D,
+                           RoutingPolicy::Oblivious, 4);
+    EXPECT_EQ(s4.shards, 1u);
+    EXPECT_FALSE(s4.serialReason.empty());
+}
+
+} // namespace
+} // namespace ltp

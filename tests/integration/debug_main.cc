@@ -1,6 +1,14 @@
 // Ad-hoc diagnostic driver (not a test): runs one kernel and dumps stats.
+//
+//   ltp_debug [kernel] [iterScale] [nodes] [pred] [mode] [topo] [routing]
+//             [threads]
+//
+// `threads` (or LTP_SIM_THREADS) selects the parallel engine's shard
+// count; the dump is bit-identical for every value.
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "dsm/experiment.hh"
 
@@ -30,11 +38,39 @@ main(int argc, char **argv)
                       ? ltp::PredictorMode::Passive
                       : ltp::PredictorMode::Active;
     }
+    if (argc > 6) {
+        auto topo = ltp::parseTopologyKind(argv[6]);
+        if (!topo) {
+            std::cerr << "unknown topology '" << argv[6] << "'\n";
+            return 2;
+        }
+        sp.net.topology = *topo;
+    }
+    if (argc > 7) {
+        auto routing = ltp::parseRoutingPolicy(argv[7]);
+        if (!routing) {
+            std::cerr << "unknown routing '" << argv[7] << "'\n";
+            return 2;
+        }
+        sp.net.routing = *routing;
+    }
+    if (argc > 8)
+        sp.simThreads = unsigned(std::atoi(argv[8]));
+    else if (const char *env = std::getenv("LTP_SIM_THREADS"))
+        sp.simThreads = unsigned(std::strtoul(env, nullptr, 10));
 
     ltp::KernelConfig cfg = ltp::defaultConfig(spec.kernel);
     cfg.nodes = sp.numNodes;
+    if (spec.iterScale != 1.0) {
+        cfg.iters = std::max(
+            1u, unsigned(std::llround(cfg.iters * spec.iterScale)));
+    }
 
     ltp::DsmSystem sys(sp);
+    if (!sys.shardPlan().canonical() && sp.simThreads > 1) {
+        std::cout << "# serial fallback: " << sys.shardPlan().serialReason
+                  << "\n";
+    }
     auto kernel = ltp::makeKernel(spec.kernel);
     ltp::RunResult r = sys.run(*kernel, cfg);
 

@@ -14,12 +14,27 @@ kernel cratering while the rest mask it.
 Every cell must appear in both files: a cell missing from the fresh run
 (kernel removed) or present only in the fresh run (kernel added without
 refreshing the committed baseline) fails the gate.
+
+Multi-thread cells of the `parallel` section (configs matching
+"...-tN" with N > 1) are reported but exempt from the ratio gates:
+their throughput depends on the runner's core count, which the
+committed trajectory cannot pin. The "-t1" cells ARE gated — they are
+the sequential baseline the parallel engine must not regress.
 """
 
 import argparse
 import json
 import math
+import re
 import sys
+
+# "mesh64-t4" -> exempt; "mesh64-t1" and plain configs -> gated.
+MULTI_THREAD_CONFIG = re.compile(r"-t(\d+)$")
+
+
+def gated(config):
+    m = MULTI_THREAD_CONFIG.search(config)
+    return m is None or int(m.group(1)) <= 1
 
 
 def load_runs(path):
@@ -65,6 +80,10 @@ def main():
         if b["eventsPerSec"] <= 0:
             continue
         ratio = f["eventsPerSec"] / b["eventsPerSec"]
+        if not gated(config):
+            print(f"{kernel:<14}{config:<12}{b['eventsPerSec']:>14.0f}"
+                  f"{f['eventsPerSec']:>14.0f}{ratio:>8.3f}  (not gated)")
+            continue
         ratios.append(ratio)
         flag = "" if ratio >= cell_floor else "  << REGRESSION"
         print(f"{kernel:<14}{config:<12}{b['eventsPerSec']:>14.0f}"
