@@ -31,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hh"
@@ -40,10 +41,18 @@ using namespace ltp;
 namespace
 {
 
+/** Detected core count; 0 when the runtime cannot tell. */
+unsigned
+hardwareThreads()
+{
+    return std::thread::hardware_concurrency();
+}
+
 struct Sample
 {
     std::string kernel;
     std::string config;
+    unsigned threads = 1; //!< simulation shards this cell ran with
     bool completed = false;
     double wallSeconds = 0.0;
     std::uint64_t cycles = 0;
@@ -53,6 +62,18 @@ struct Sample
     double rate(std::uint64_t n) const
     {
         return wallSeconds > 0.0 ? double(n) / wallSeconds : 0.0;
+    }
+
+    /**
+     * More worker threads than cores: the cell's wall clock measures
+     * scheduler thrash, not engine throughput. Stamped into the JSON so
+     * numbers recorded on a small box stop reading as regressions.
+     */
+    bool
+    oversubscribed() const
+    {
+        unsigned hw = hardwareThreads();
+        return hw != 0 && threads > hw;
     }
 };
 
@@ -101,8 +122,10 @@ runParallel(const std::string &kernel, unsigned threads, double scale)
     spec.nodes = 64;
     spec.topology = TopologyKind::Mesh2D;
     spec.simThreads = threads;
-    return runSpec(std::move(spec),
-                   "mesh64-t" + std::to_string(threads));
+    Sample s = runSpec(std::move(spec),
+                       "mesh64-t" + std::to_string(threads));
+    s.threads = threads;
+    return s;
 }
 
 void
@@ -124,20 +147,24 @@ writeJson(const std::string &path, const std::vector<Sample> &samples,
 #endif
     );
     std::fprintf(f, "  \"iterScale\": %g,\n", scale);
+    std::fprintf(f, "  \"hardwareConcurrency\": %u,\n", hardwareThreads());
     std::fprintf(f, "  \"runs\": [\n");
     for (std::size_t i = 0; i < samples.size(); ++i) {
         const Sample &s = samples[i];
         std::fprintf(f,
                      "    {\"kernel\": \"%s\", \"config\": \"%s\", "
-                     "\"completed\": %s, \"wallSeconds\": %.4f, "
+                     "\"threads\": %u, \"completed\": %s, "
+                     "\"wallSeconds\": %.4f, "
                      "\"cycles\": %llu, \"events\": %llu, \"msgs\": %llu, "
-                     "\"eventsPerSec\": %.0f, \"msgsPerSec\": %.0f}%s\n",
-                     s.kernel.c_str(), s.config.c_str(),
+                     "\"eventsPerSec\": %.0f, \"msgsPerSec\": %.0f%s}%s\n",
+                     s.kernel.c_str(), s.config.c_str(), s.threads,
                      s.completed ? "true" : "false", s.wallSeconds,
                      (unsigned long long)s.cycles,
                      (unsigned long long)s.events,
                      (unsigned long long)s.msgs, s.rate(s.events),
-                     s.rate(s.msgs), i + 1 < samples.size() ? "," : "");
+                     s.rate(s.msgs),
+                     s.oversubscribed() ? ", \"oversubscribed\": true" : "",
+                     i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -223,11 +250,12 @@ main(int argc, char **argv)
         for (unsigned t : threads) {
             Sample s = runParallel(kernel, t, scale);
             std::printf("%-12s %-10s | %8.3f %12llu %12llu | %12.0f "
-                        "%12.0f%s\n",
+                        "%12.0f%s%s\n",
                         s.kernel.c_str(), s.config.c_str(), s.wallSeconds,
                         (unsigned long long)s.events,
                         (unsigned long long)s.msgs, s.rate(s.events),
-                        s.rate(s.msgs), s.completed ? "" : "  (incomplete)");
+                        s.rate(s.msgs), s.completed ? "" : "  (incomplete)",
+                        s.oversubscribed() ? "  (oversubscribed)" : "");
             samples.push_back(std::move(s));
         }
     }

@@ -2,9 +2,31 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace ltp
 {
+
+unsigned
+parseSimThreads(const char *text)
+{
+    unsigned long value = 0;
+    const char *p = text;
+    bool any = false;
+    for (; *p >= '0' && *p <= '9'; ++p) {
+        any = true;
+        value = value * 10 + unsigned(*p - '0');
+        if (value > maxSimThreads)
+            break; // cap the accumulator; the range check below fires
+    }
+    if (!any || *p != '\0' || value == 0 || value > maxSimThreads) {
+        throw std::invalid_argument(
+            std::string("LTP_SIM_THREADS must be an integer in [1, ") +
+            std::to_string(maxSimThreads) + "], got \"" + text + "\"");
+    }
+    return unsigned(value);
+}
 
 RunResult
 runExperiment(const ExperimentSpec &spec)
@@ -16,7 +38,7 @@ runExperiment(const ExperimentSpec &spec)
     if (spec.simThreads) {
         sp.simThreads = *spec.simThreads;
     } else if (const char *env = std::getenv("LTP_SIM_THREADS")) {
-        sp.simThreads = unsigned(std::strtoul(env, nullptr, 10));
+        sp.simThreads = parseSimThreads(env);
     }
     if (spec.net) {
         sp.net = *spec.net;

@@ -52,6 +52,15 @@ struct ExperimentSpec
 RunResult runExperiment(const ExperimentSpec &spec);
 
 /**
+ * Parse an LTP_SIM_THREADS-style thread count. Accepts exactly a
+ * decimal integer in [1, 256]; anything else (non-numeric text, zero,
+ * trailing junk, absurd values) throws std::invalid_argument with a
+ * message naming the offending value — a misspelled environment
+ * variable must fail loudly, not silently fall back to one thread.
+ */
+unsigned parseSimThreads(const char *text);
+
+/**
  * Run the base system and one active predictor on the same kernel and
  * inputs; returns (base cycles / predictor cycles) — Figure 9's speedup.
  */

@@ -30,6 +30,14 @@ enum class PredictorKind
 
 const char *predictorKindName(PredictorKind k);
 
+/**
+ * Upper bound on SystemParams::simThreads. Far above any sane host
+ * (shards can never exceed the node count anyway); its purpose is to
+ * reject typo'd values — LTP_SIM_THREADS=2000000 — loudly at
+ * construction instead of silently spawning a thread army.
+ */
+constexpr unsigned maxSimThreads = 256;
+
 /** Full system configuration. Defaults reproduce Table 1. */
 struct SystemParams
 {

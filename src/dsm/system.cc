@@ -19,6 +19,12 @@ namespace
 ShardPlan
 planFor(const SystemParams &params)
 {
+    if (params.simThreads == 0 || params.simThreads > maxSimThreads) {
+        throw std::invalid_argument(
+            "SystemParams::simThreads must be in [1, " +
+            std::to_string(maxSimThreads) + "], got " +
+            std::to_string(params.simThreads));
+    }
     // Reject invalid network knobs with the descriptive error before
     // deriving a lookahead from them (makeInterconnect would only get
     // to say so later).

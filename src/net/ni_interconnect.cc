@@ -81,28 +81,31 @@ void
 NiInterconnect::arriveAtIngress(Message msg)
 {
     NodeId dst = msg.dst;
-    ingressQueue_[dst].push_back(msg);
-    if (!ingressBusy_[dst])
-        drainIngress(dst);
+    if (ingressBusy_[dst]) {
+        ingressQueue_[dst].push_back(msg);
+        return;
+    }
+    // Idle NI: service starts immediately — skip the queue round-trip.
+    ingressBusy_[dst] = true;
+    serveIngress(dst, msg);
 }
 
 void
-NiInterconnect::drainIngress(NodeId node)
+NiInterconnect::serveIngress(NodeId node, const Message &msg)
 {
-    if (ingressQueue_[node].empty()) {
-        ingressBusy_[node] = false;
-        return;
-    }
-    ingressBusy_[node] = true;
-    Message msg = ingressQueue_[node].front();
-    ingressQueue_[node].pop_front();
-
     // The busy flag serializes the NI: this event runs at (or, when the
     // NI went idle, after) the previous message's finish tick, so the
     // next service always starts now.
     q(node).scheduleIn(niOccupancy(msg), [this, node, msg] {
         deliver(msg);
-        drainIngress(node);
+        std::deque<Message> &queue = ingressQueue_[node];
+        if (queue.empty()) {
+            ingressBusy_[node] = false;
+            return;
+        }
+        Message next = queue.front();
+        queue.pop_front();
+        serveIngress(node, next);
     });
 }
 

@@ -93,7 +93,8 @@ class NiInterconnect : public Interconnect
     NiInterconnect(std::unique_ptr<SimContext> owned, NodeId num_nodes,
                    NetworkParams params);
 
-    void drainIngress(NodeId node);
+    /** Schedule @p msg's ingress-NI service (ends occupancy from now). */
+    void serveIngress(NodeId node, const Message &msg);
 
     SimContext *ctx_;
     std::unique_ptr<SimContext> ownedCtx_; //!< legacy-constructor shim

@@ -115,10 +115,10 @@ RoutedNetwork::adaptiveVc(const Link &link) const
 }
 
 std::size_t
-RoutedNetwork::congestion(std::size_t l) const
+RoutedNetwork::congestion(std::size_t l)
 {
     const Link &link = links_[l];
-    std::size_t score = link.q.size() + (link.busy ? 1 : 0);
+    std::size_t score = link.q.size() + (linkIdle(link) ? 0 : 1);
     if (bounded()) {
         // Count the filled downstream slots too: a drained queue whose
         // buffers are full is still a poor choice.
@@ -175,16 +175,47 @@ RoutedNetwork::enqueue(std::size_t l, Entry e)
 {
     Link &link = links_[l];
     link.q.push_back(std::move(e));
-    if (!link.busy && !link.draining)
-        drainLink(l);
+    pump(l);
+}
+
+void
+RoutedNetwork::pump(std::size_t l)
+{
+    Link &link = links_[l];
+    if (link.draining)
+        return;
+    if (!linkIdle(link)) {
+        // Serializing: no arbitration until the wire clears. Arm the
+        // link engine so exactly one drain event exists at freeAt —
+        // this replaces the unconditional per-grant link-free event.
+        armEngine(l);
+        return;
+    }
+    drainLink(l);
+}
+
+void
+RoutedNetwork::armEngine(std::size_t l)
+{
+    Link &link = links_[l];
+    if (link.armed || link.q.empty())
+        return;
+    link.armed = true;
+    q(link.from).scheduleAt(link.freeAt, [this, l] {
+        links_[l].armed = false;
+        // pump(), not drainLink(): a credit that landed earlier this
+        // tick may already have granted and re-busied the link.
+        pump(l);
+    });
 }
 
 void
 RoutedNetwork::drainLink(std::size_t l)
 {
     Link &link = links_[l];
-    if (link.busy || link.draining)
+    if (link.draining)
         return;
+    assert(linkIdle(link));
     link.draining = true;
 
     for (;;) {
@@ -238,7 +269,6 @@ void
 RoutedNetwork::grant(std::size_t l, Entry e)
 {
     Link &link = links_[l];
-    link.busy = true;
     if (bounded()) {
         --link.credits[e.vc];
         // The upstream input-buffer slot frees as the message leaves it;
@@ -261,14 +291,15 @@ RoutedNetwork::grant(std::size_t l, Entry e)
     // and the downstream delay is constant, so per-(src, dst) order is
     // preserved along any deterministic route.
     //
-    // The link-free event stays on the upstream owner's queue; the
-    // arrival mutates the downstream router and crosses shards through
-    // post() with serialization + wire + pipeline of lookahead.
+    // Serialization end is pure bookkeeping (`freeAt`), not an event:
+    // the coalesced link engine (armEngine) only materializes a drain
+    // event when traffic is actually waiting for the wire. The arrival
+    // mutates the downstream router and crosses shards through post()
+    // with serialization + wire + pipeline of lookahead.
     Tick done = q(link.from).now() + ser;
-    q(link.from).scheduleAt(done, [this, l] {
-        links_[l].busy = false;
-        drainLink(l);
-    });
+    link.freeAt = done;
+    if (!link.q.empty())
+        armEngine(l);
 
     Tick arrive = done + params_.hopLatency + params_.routerLatency;
     std::uint8_t vc = e.vc;
@@ -289,7 +320,7 @@ RoutedNetwork::scheduleCreditReturn(std::size_t l, std::uint8_t vc)
         ++link.credits[vc];
         assert(link.credits[vc] <= params_.vcDepth &&
                "credit conservation violated");
-        if (!link.busy)
+        if (linkIdle(link))
             drainLink(l);
     });
 }

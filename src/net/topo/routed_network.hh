@@ -119,7 +119,16 @@ class RoutedNetwork : public NiInterconnect
         std::uint8_t inVc = 0;
     };
 
-    /** One directed physical channel between adjacent routers. */
+    /**
+     * One directed physical channel between adjacent routers.
+     *
+     * Serialization is modeled with a coalesced "link engine" instead
+     * of a per-message link-free event: `freeAt` records when the
+     * current serialization ends, and a single drain event is armed at
+     * that tick only while traffic is actually waiting (`armed`). An
+     * uncongested grant therefore schedules no bookkeeping event at
+     * all — the arrival post is the only event per hop.
+     */
     struct Link
     {
         NodeId from = invalidNode;
@@ -127,7 +136,8 @@ class RoutedNetwork : public NiInterconnect
         std::uint8_t dim = 0; //!< 0 = X, 1 = Y
         bool wrap = false;    //!< crosses the torus/ring dateline
         std::deque<Entry> q;  //!< waiting messages, request order
-        bool busy = false;    //!< serializing a message right now
+        Tick freeAt = 0;      //!< serializing until this tick
+        bool armed = false;   //!< drain event scheduled at freeAt
         bool draining = false; //!< re-entrancy guard for drainLink()
         /** Free slots in the downstream input buffer, per VC. */
         std::vector<unsigned> credits;
@@ -166,14 +176,25 @@ class RoutedNetwork : public NiInterconnect
     /** Adaptive VC with the most free downstream slots on link @p l. */
     std::uint8_t adaptiveVc(const Link &link) const;
     /** Congestion score of the output link @p l (queue + buffer fill). */
-    std::size_t congestion(std::size_t l) const;
+    std::size_t congestion(std::size_t l);
+
+    /** True when link @p l is not serializing at the current tick. */
+    bool
+    linkIdle(const Link &link)
+    {
+        return q(link.from).now() >= link.freeAt;
+    }
 
     /** Route @p msg (now at router @p at) onto its next output link. */
     void forward(NodeId at, Message msg, std::int32_t in_link,
                  std::uint8_t in_vc);
     void enqueue(std::size_t l, Entry e);
+    /** Arbitrate now if the link is idle, else arm the link engine. */
+    void pump(std::size_t l);
+    /** Schedule the coalesced drain event at freeAt (once). */
+    void armEngine(std::size_t l);
     /** Arbitration: grant the next credited message, else escape-reroute
-     *  a blocked adaptive one. */
+     *  a blocked adaptive one. @pre link is idle. */
     void drainLink(std::size_t l);
     void grant(std::size_t l, Entry e);
     /** The wire-delayed credit for one freed (link, VC) buffer slot. */

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ltp
@@ -8,13 +9,39 @@ namespace ltp
 EventQueue::EventQueue() : buckets_(window) {}
 
 void
-EventQueue::pushBucket(Tick when, EventId id)
+EventQueue::pushBucket(Tick when, Entry e)
 {
     assert(when - now_ < window);
     std::size_t idx = std::size_t(when) & windowMask;
-    buckets_[idx].ids.push_back(id);
+    Bucket &b = buckets_[idx];
+    if (b.entries.empty() || !entryBefore(e, b.entries.back())) {
+        // Hot path: keys are nondecreasing for plain scheduleAt()
+        // traffic (phase fixed, sequence monotonic), so this is a pure
+        // append exactly like the historical FIFO bucket.
+        b.entries.push_back(e);
+    } else {
+        insertSorted(b, e);
+    }
     bitmap_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
     ++bucketedEntries_;
+}
+
+// Out of line on purpose: only a channel post overtaking same-tick
+// entries of a later key (a larger channel id, or the round's locals
+// scheduled after it) lands here, and keeping the binary search out of
+// pushBucket() keeps the append path's code footprint minimal.
+__attribute__((noinline)) void
+EventQueue::insertSorted(Bucket &b, Entry e)
+{
+    // Never insert before `head`: the prefix holds only consumed
+    // tombstones (live entries with a larger key cannot have run —
+    // execution is in key order and posts never target a tick that is
+    // already executing). Buckets are small; binary search finds the
+    // spot.
+    auto pos = std::upper_bound(
+        b.entries.begin() + std::ptrdiff_t(b.head), b.entries.end(), e,
+        [](const Entry &a, const Entry &x) { return entryBefore(a, x); });
+    b.entries.insert(pos, e);
 }
 
 void
@@ -23,20 +50,21 @@ EventQueue::migrate()
     while (!overflow_.empty() && overflow_.top().when - now_ < window) {
         OverflowEntry e = overflow_.top();
         overflow_.pop();
-        std::uint32_t slot = std::uint32_t(e.id & slotMask);
-        if (slots_[slot].id != e.id)
+        std::uint32_t slot = std::uint32_t(e.entry.id & slotMask);
+        if (slots_[slot].id != e.entry.id)
             continue; // cancelled while parked in the overflow heap
-        pushBucket(e.when, e.id);
+        pushBucket(e.when, e.entry);
     }
 }
 
 EventQueue::EventId
-EventQueue::scheduleAt(Tick when, Callback cb)
+EventQueue::scheduleKeyed(Tick when, std::uint64_t key, Callback cb)
 {
     assert(when >= now_ && "scheduling an event in the past");
 
-    // Pull freshly-eligible overflow events in first so that same-tick
-    // FIFO order (== schedule order) is preserved in the bucket.
+    // Pull freshly-eligible overflow events in first; their keys were
+    // assigned at schedule time, so they land at their sorted position
+    // regardless, but migrating early keeps the ring scan cheap.
     migrate();
 
     std::uint32_t slot;
@@ -54,10 +82,11 @@ EventQueue::scheduleAt(Tick when, Callback cb)
     slots_[slot].when = when;
     slots_[slot].cb = std::move(cb);
 
+    Entry e{id, key};
     if (when - now_ < window)
-        pushBucket(when, id);
+        pushBucket(when, e);
     else
-        overflow_.push(OverflowEntry{when, id});
+        overflow_.push(OverflowEntry{when, e});
     ++liveEvents_;
     return id;
 }
@@ -107,8 +136,8 @@ EventQueue::popNextLive(Tick limit)
         if (bucketedEntries_ > 0) {
             std::size_t idx = firstBucket();
             Bucket &b = buckets_[idx];
-            while (b.head < b.ids.size()) {
-                EventId id = b.ids[b.head];
+            while (b.head < b.entries.size()) {
+                EventId id = b.entries[b.head].id;
                 std::uint32_t slot = std::uint32_t(id & slotMask);
                 if (slots_[slot].id != id) {
                     ++b.head; // tombstone from a cancelled event
@@ -119,7 +148,7 @@ EventQueue::popNextLive(Tick limit)
                     return -1; // leave it pending for a later run
                 ++b.head;
                 --bucketedEntries_;
-                if (b.head == b.ids.size())
+                if (b.head == b.entries.size())
                     clearBucket(idx);
                 return std::int64_t(slot);
             }
@@ -132,8 +161,8 @@ EventQueue::popNextLive(Tick limit)
         // the current window, hence later than anything bucketed).
         while (!overflow_.empty()) {
             OverflowEntry e = overflow_.top();
-            std::uint32_t slot = std::uint32_t(e.id & slotMask);
-            if (slots_[slot].id != e.id) {
+            std::uint32_t slot = std::uint32_t(e.entry.id & slotMask);
+            if (slots_[slot].id != e.entry.id) {
                 overflow_.pop(); // tombstone
                 continue;
             }
@@ -157,8 +186,8 @@ EventQueue::nextEventTick()
         if (bucketedEntries_ > 0) {
             std::size_t idx = firstBucket();
             Bucket &b = buckets_[idx];
-            while (b.head < b.ids.size()) {
-                EventId id = b.ids[b.head];
+            while (b.head < b.entries.size()) {
+                EventId id = b.entries[b.head].id;
                 std::uint32_t slot = std::uint32_t(id & slotMask);
                 if (slots_[slot].id != id) {
                     ++b.head; // tombstone from a cancelled event
@@ -173,8 +202,8 @@ EventQueue::nextEventTick()
 
         while (!overflow_.empty()) {
             OverflowEntry e = overflow_.top();
-            std::uint32_t slot = std::uint32_t(e.id & slotMask);
-            if (slots_[slot].id != e.id) {
+            std::uint32_t slot = std::uint32_t(e.entry.id & slotMask);
+            if (slots_[slot].id != e.entry.id) {
                 overflow_.pop(); // tombstone
                 continue;
             }
@@ -217,6 +246,27 @@ EventQueue::runUntil(Tick limit)
     std::int64_t slot;
     while ((slot = popNextLive(limit)) >= 0)
         executeSlot(std::uint32_t(slot));
+    return now_;
+}
+
+Tick
+EventQueue::runWindowed(Tick limit, Tick window)
+{
+    std::int64_t slot;
+    while ((slot = popNextLive(limit)) >= 0) {
+        Tick when = slots_[std::uint32_t(slot)].when;
+        if (when > windowEnd_ || !windowOpen_) {
+            // First event past the round (or the very first event, even
+            // at tick 0): the staged engine would have hit a barrier
+            // here, planned [when, when + L), and merged its mailboxes.
+            // The merge already happened incrementally
+            // (scheduleAtChannel); only the phase boundary remains.
+            windowOpen_ = true;
+            windowEnd_ = std::min(when + window - 1, limit);
+            beginRound();
+        }
+        executeSlot(std::uint32_t(slot));
+    }
     return now_;
 }
 

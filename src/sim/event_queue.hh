@@ -3,8 +3,9 @@
  * A deterministic discrete-event queue.
  *
  * Events are arbitrary callables scheduled at an absolute tick. Events
- * scheduled for the same tick execute in scheduling order (FIFO within a
- * tick), which makes every simulation run bit-reproducible.
+ * scheduled for the same tick execute in a fully specified order (see
+ * "Same-tick order" below), which makes every simulation run
+ * bit-reproducible.
  *
  * Implementation (see src/sim/README.md for the full design notes):
  *
@@ -16,7 +17,7 @@
  *    global schedule sequence number), so cancellation simply releases
  *    the slot: stale queue entries no longer match the slot's tag and
  *    are skipped on pop. The sequence number doubles as the
- *    FIFO-within-tick tie-breaker.
+ *    FIFO tie-breaker.
  *
  *  - Time order is a calendar: events within `window` ticks of now go
  *    into a per-tick bucket ring (O(1) push, bitmap-accelerated scan to
@@ -25,11 +26,35 @@
  *    advances. Nearly every simulator delay (NI occupancy, wire flight,
  *    memory access, barrier release) is far below the window, so the
  *    common path never touches the heap.
+ *
+ * Same-tick order
+ * ---------------
+ * Every event carries an ordering key (phase, channel, sequence) and a
+ * tick's events execute in ascending key order:
+ *
+ *  - scheduleAt() events ("locals") take the queue's current even phase
+ *    and channel 0, so with no rounds in play (the plain sequential
+ *    engine: phase stays 0) same-tick order is pure FIFO — exactly the
+ *    historical behaviour.
+ *
+ *  - scheduleAtChannel() events ("channel posts") take the current odd
+ *    phase (phase + 1) and the caller's channel id: at one tick they
+ *    sort after the current round's locals, by channel id, FIFO within
+ *    a channel. beginRound() advances the phase by 2, so posts of round
+ *    r land between round r's locals and round r+1's locals.
+ *
+ * This is the canonical (deliveryTick, channel) tie-break of the
+ * parallel engine (src/sim/par/): a 1-shard ParallelScheduler posts
+ * straight into the queue through scheduleAtChannel() and the sorted
+ * bucket reproduces, insertion-order-independently, exactly the order
+ * the multi-shard engine realizes by sorting its mailbox lanes at a
+ * window barrier.
  */
 
 #ifndef LTP_SIM_EVENT_QUEUE_HH
 #define LTP_SIM_EVENT_QUEUE_HH
 
+#include <cassert>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -72,16 +97,51 @@ class EventQueue
     /**
      * Schedule @p cb to run at absolute tick @p when.
      *
+     * Ordering key: (current even phase, channel 0, schedule sequence) —
+     * FIFO among same-tick scheduleAt() events of the same round.
+     *
      * @pre when >= now(); scheduling in the past is a caller bug.
      * @return an id usable with cancel().
      */
-    EventId scheduleAt(Tick when, Callback cb);
+    EventId
+    scheduleAt(Tick when, Callback cb)
+    {
+        return scheduleKeyed(when, phase_ << chanBits, std::move(cb));
+    }
 
     /** Schedule @p cb to run @p delay ticks from now. */
     EventId scheduleIn(Tick delay, Callback cb)
     {
         return scheduleAt(now_ + delay, std::move(cb));
     }
+
+    /**
+     * Schedule @p cb at tick @p when on logical FIFO channel @p chan.
+     *
+     * Ordering key: (current odd phase, chan, schedule sequence). At one
+     * tick, channel events of a round execute after that round's
+     * scheduleAt() events, ordered by channel id and FIFO within a
+     * channel — the parallel engine's canonical (tick, channel) merge
+     * order, realized here directly without mailbox staging.
+     */
+    EventId
+    scheduleAtChannel(Tick when, std::uint64_t chan, Callback cb)
+    {
+        assert(chan < (std::uint64_t(1) << chanBits) &&
+               "channel ids must fit 32 bits (see chan::spaceShift)");
+        return scheduleKeyed(when, ((phase_ + 1) << chanBits) | chan,
+                             std::move(cb));
+    }
+
+    /**
+     * Open the next canonical round: subsequent scheduleAt() events sort
+     * after every channel event of the previous round. Never needed by
+     * plain sequential users (the phase just stays 0). The packed key
+     * gives phases 32 bits: 2^31 rounds, which at the minimum window
+     * of one tick per round outlives any realistic run by orders of
+     * magnitude.
+     */
+    void beginRound() { phase_ += 2; }
 
     /**
      * Cancel a previously scheduled event.
@@ -114,6 +174,24 @@ class EventQueue
      * @return the final tick reached.
      */
     Tick runUntil(Tick limit);
+
+    /**
+     * Run like runUntil(@p limit), but drive the canonical round clock
+     * inline: whenever the next event lies beyond the current round's
+     * window, open a new round (beginRound()) spanning
+     * [tick, tick + @p window) — clamped to @p limit — before executing
+     * it. This replays exactly the window sequence the staged parallel
+     * engine would plan at its barriers (the window start is the global
+     * minimum pending tick, which for one shard is simply the next
+     * event), at the cost of one compare per event instead of a
+     * separate peek-plan-execute pass per round. The 1-shard fast path
+     * is this call; windowEnd() exposes the current round's end for the
+     * post() lookahead assertion.
+     */
+    Tick runWindowed(Tick limit, Tick window);
+
+    /** End of the current canonical round (0 before the first one). */
+    Tick windowEnd() const { return windowEnd_; }
 
     /** Total number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executed_; }
@@ -154,31 +232,64 @@ class EventQueue
     };
 
     /**
-     * One calendar tick's events, in scheduling order. `head` marks the
-     * consumed prefix (entries are popped front-to-back within a tick).
+     * One queued reference to a slot, carrying the ordering key packed
+     * as (phase << 32) | chan — phases and channel ids both fit 32
+     * bits (see scheduleAtChannel) — so the entry stays 16 bytes and a
+     * bucket comparison is two machine words. The schedule sequence
+     * lives in the id's generation bits, making the full order
+     * (phase, chan, sequence).
+     */
+    struct Entry
+    {
+        EventId id;
+        std::uint64_t key;
+    };
+
+    /** Bits of the packed key available for the channel id. */
+    static constexpr unsigned chanBits = 32;
+
+    static bool
+    entryBefore(const Entry &a, const Entry &b)
+    {
+        if (a.key != b.key)
+            return a.key < b.key;
+        return a.id < b.id; // generation bits dominate: schedule order
+    }
+
+    /**
+     * One calendar tick's events, kept sorted by ordering key. `head`
+     * marks the consumed prefix (entries are popped front-to-back
+     * within a tick); insertions never land before `head` — see
+     * pushBucket().
      */
     struct Bucket
     {
-        std::vector<EventId> ids;
+        std::vector<Entry> entries;
         std::size_t head = 0;
     };
 
     struct OverflowEntry
     {
         Tick when;
-        EventId id; //!< high bits = schedule order -> FIFO tie-break
+        Entry entry; //!< stable key copy: slots may be recycled under it
 
         bool
         operator>(const OverflowEntry &o) const
         {
             if (when != o.when)
                 return when > o.when;
-            return id > o.id;
+            return entryBefore(o.entry, entry);
         }
     };
 
-    /** Append to the ring bucket for @p when (must be within window). */
-    void pushBucket(Tick when, EventId id);
+    /** The keyed implementation behind both schedule flavours. */
+    EventId scheduleKeyed(Tick when, std::uint64_t key, Callback cb);
+
+    /** Sorted-insert into the ring bucket for @p when (within window). */
+    void pushBucket(Tick when, Entry e);
+
+    /** Cold path of pushBucket: a key-overtaking (channel) insert. */
+    void insertSorted(Bucket &b, Entry e);
 
     /** Move overflow events that entered the window into the ring. */
     void migrate();
@@ -199,7 +310,7 @@ class EventQueue
     void
     clearBucket(std::size_t idx)
     {
-        buckets_[idx].ids.clear();
+        buckets_[idx].entries.clear();
         buckets_[idx].head = 0;
         bitmap_[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
     }
@@ -222,7 +333,10 @@ class EventQueue
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> freeList_;
     Tick now_ = 0;
+    Tick windowEnd_ = 0; //!< current canonical round's end (runWindowed)
+    bool windowOpen_ = false; //!< a runWindowed round has ever begun
     std::uint64_t nextGen_ = 1;
+    std::uint64_t phase_ = 0; //!< even; +1 = the channel-post phase
     std::size_t liveEvents_ = 0;
     std::uint64_t executed_ = 0;
 };

@@ -29,7 +29,8 @@ ParallelScheduler::ParallelScheduler(unsigned shards, NodeId num_nodes,
     parts_.reserve(shards);
     for (unsigned s = 0; s < shards; ++s) {
         auto p = std::make_unique<Partition>();
-        p->out.resize(shards);
+        if (shards > 1)
+            p->out = std::vector<Lane>(shards);
         parts_.push_back(std::move(p));
     }
     // Contiguous blocks: neighbors (and mesh rows) tend to share a
@@ -44,16 +45,30 @@ void
 ParallelScheduler::post(NodeId dst, Tick when, std::uint64_t chan,
                         EventQueue::Callback cb)
 {
-    unsigned from = tlsShard;
-    unsigned to = shard_[dst];
-    assert(from < parts_.size());
+    if (directDispatch()) {
+        // Fast path: no staging, no sort, no barrier. The queue's
+        // sorted same-tick buckets put the event exactly where the
+        // staged merge would: after the posting round's local events,
+        // ordered by channel id, FIFO within the channel. The round
+        // clock lives in the queue itself (runWindowed).
+        assert(when > parts_[0]->eq.windowEnd() &&
+               "post() inside the current window: lookahead contract "
+               "broken");
+        parts_[0]->eq.scheduleAtChannel(when, chan, std::move(cb));
+        return;
+    }
+
     // The conservative contract: a post must land strictly beyond the
     // window it was made from (windowEnd_ is 0 before the first round,
     // so setup-time posts pass). Violations would otherwise surface
     // only as silent shard-count-dependent results.
     assert(when > windowEnd_.load(std::memory_order_relaxed) &&
            "post() inside the current window: lookahead contract broken");
-    parts_[from]->out[to].push_back(PostItem{when, chan, std::move(cb)});
+
+    unsigned from = tlsShard;
+    unsigned to = shard_[dst];
+    assert(from < parts_.size());
+    parts_[from]->out[to].push(PostItem{when, chan, std::move(cb)});
 }
 
 void
@@ -65,12 +80,16 @@ ParallelScheduler::applyInbox(unsigned shard)
     // items from different lanes never share (when, chan).
     std::vector<PostItem> &items = parts_[shard]->inbox;
     for (auto &src : parts_) {
-        auto &lane = src->out[shard];
-        if (lane.empty())
-            continue;
-        items.insert(items.end(), std::make_move_iterator(lane.begin()),
-                     std::make_move_iterator(lane.end()));
-        lane.clear();
+        Lane &lane = src->out[shard];
+        PostItem item;
+        while (lane.ring.tryPop(item))
+            items.push_back(std::move(item));
+        if (!lane.spill.empty()) {
+            items.insert(items.end(),
+                         std::make_move_iterator(lane.spill.begin()),
+                         std::make_move_iterator(lane.spill.end()));
+            lane.spill.clear();
+        }
     }
     if (items.empty())
         return;
@@ -131,9 +150,27 @@ ParallelScheduler::workerLoop(unsigned shard, Tick limit)
 }
 
 Tick
+ParallelScheduler::runDirect(Tick limit)
+{
+    // The staged engine's round loop with everything but the clock
+    // removed: posts already sit in the queue (scheduleAtChannel), so
+    // "apply inbox" is gone; the global minimum pending tick that
+    // planWindow() would compute is simply the next event; and the
+    // only round-boundary work left is advancing the queue's phase so
+    // one round's channel posts sort before the next round's local
+    // events — the same boundary the mailbox merge would have imposed.
+    // runWindowed() drives all of that inline at one compare per event.
+    tlsShard = 0;
+    return parts_[0]->eq.runWindowed(limit, window_);
+}
+
+Tick
 ParallelScheduler::runUntil(Tick limit)
 {
     stop_.store(false, std::memory_order_relaxed);
+
+    if (directDispatch())
+        return runDirect(limit);
 
     std::vector<std::thread> workers;
     workers.reserve(parts_.size() - 1);

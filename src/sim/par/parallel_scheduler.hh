@@ -7,10 +7,10 @@
  * EventQueue and StatGroup. Intra-shard events execute exactly as in
  * the sequential engine; cross-shard interactions — which only occur
  * through SimContext::post(), every one of them at least the lookahead
- * window L beyond its cause — are buffered in single-writer mailbox
- * lanes and exchanged at window barriers.
+ * window L beyond its cause — are exchanged at window barriers through
+ * lock-free SPSC mailbox lanes.
  *
- * One round:
+ * One round (S > 1, the staged path):
  *
  *   1. apply inbox    every shard drains the lanes addressed to it,
  *                     sorted by (deliveryTick, channel): the canonical
@@ -26,12 +26,23 @@
  *                     see an effect before its cause.
  *   4. publish        barrier; lane writes become visible for step 1.
  *
+ * The direct-dispatch fast path (S == 1): with a single shard there is
+ * nothing to exchange, so post() skips the mailbox entirely and lands
+ * in the owner queue through EventQueue::scheduleAtChannel(), whose
+ * sorted same-tick buckets realize the identical (deliveryTick,
+ * channel) order without staging, sorting, or barrier traffic. The
+ * window loop survives only as a phase clock (EventQueue::beginRound()):
+ * it derives the same round boundaries the staged engine would, which
+ * pins where one round's posts sort relative to the next round's local
+ * events — byte-identical output, none of the staging tax.
+ *
  * Determinism: each shard's execution is a function of its queue
  * content only; queue content is the deterministic intra-shard schedule
  * plus inbox applications in canonical order. Per-channel post order is
  * the feeding shard's deterministic execution order. Nothing observes
- * wall-clock interleaving, so S = 2 and S = 8 produce identical
- * per-node event sequences — and identical (merged) statistics.
+ * wall-clock interleaving, so S = 1 (fast path), S = 2 and S = 8
+ * produce identical per-node event sequences — and identical (merged)
+ * statistics.
  */
 
 #ifndef LTP_SIM_PAR_PARALLEL_SCHEDULER_HH
@@ -44,6 +55,7 @@
 #include <vector>
 
 #include "sim/par/sim_context.hh"
+#include "sim/par/spsc_ring.hh"
 #include "sim/par/window_barrier.hh"
 
 namespace ltp
@@ -56,8 +68,9 @@ class ParallelScheduler final : public SimContext
     /**
      * @param shards   partition/thread count. One is valid — and is how
      *                 simThreads=1 runs on parallel-safe configurations:
-     *                 the same canonical window/merge semantics on the
-     *                 calling thread, so results match every other shard
+     *                 the same canonical (tick, channel) semantics on
+     *                 the calling thread through the direct-dispatch
+     *                 fast path, so results match every other shard
      *                 count bit for bit.
      * @param num_nodes nodes to spread over the partitions.
      * @param window   conservative lookahead L in ticks (>= 1); every
@@ -94,21 +107,47 @@ class ParallelScheduler final : public SimContext
 
     Tick window() const { return window_; }
 
+    /** True when posts dispatch straight into the owner queue (S == 1). */
+    bool directDispatch() const { return parts_.size() == 1; }
+
   private:
     /** One buffered cross-shard event. */
     struct PostItem
     {
-        Tick when;
-        std::uint64_t chan;
+        Tick when = 0;
+        std::uint64_t chan = 0;
         EventQueue::Callback cb;
+    };
+
+    /** Mailbox lane capacity (items) before spilling to the vector. */
+    static constexpr std::size_t laneCapacity = 256;
+
+    /**
+     * One single-writer mailbox lane. The ring is the wait-free common
+     * case; `spill` absorbs overflow of a message-storm window (written
+     * by the producer, read only at the barrier with both sides
+     * quiescent). Once a round spills, it keeps spilling so ring-then-
+     * spill drain order stays FIFO.
+     */
+    struct Lane
+    {
+        SpscRing<PostItem, laneCapacity> ring;
+        std::vector<PostItem> spill;
+
+        void
+        push(PostItem &&item)
+        {
+            if (!spill.empty() || !ring.tryPush(std::move(item)))
+                spill.push_back(std::move(item));
+        }
     };
 
     struct Partition
     {
         EventQueue eq;
         StatGroup stats;
-        /** Outgoing mail, one single-writer lane per destination shard. */
-        std::vector<std::vector<PostItem>> out;
+        /** Outgoing mail, one lane per destination shard. */
+        std::vector<Lane> out;
         /** Reused merge buffer for applyInbox (avoids per-round churn). */
         std::vector<PostItem> inbox;
         /** Earliest pending tick, published for window planning. */
@@ -118,6 +157,8 @@ class ParallelScheduler final : public SimContext
     void workerLoop(unsigned shard, Tick limit);
     void applyInbox(unsigned shard);
     void planWindow(Tick limit);
+    /** The S == 1 engine: same windows and order, no staging. */
+    Tick runDirect(Tick limit);
 
     std::vector<std::unique_ptr<Partition>> parts_;
     std::vector<unsigned> shard_; //!< node -> shard

@@ -29,10 +29,14 @@
  *
  *  - post() carries a *channel id* identifying the logical FIFO the
  *    event travels on (a (src, dst) pair, a physical link, a barrier
- *    slot). The parallel engine applies buffered posts at window
- *    barriers sorted by (tick, channel), and a channel is only ever fed
- *    by one shard, so the merged order is deterministic: independent of
- *    thread timing AND of the shard count.
+ *    slot). The parallel engine realizes the canonical (tick, channel)
+ *    order two ways — staged for shards > 1 (buffered lanes sorted and
+ *    merged at window barriers) and direct for one shard (straight
+ *    into the owner queue via EventQueue::scheduleAtChannel, whose
+ *    sorted buckets impose the same order with zero staging). A
+ *    channel is only ever fed by one shard, so the order is
+ *    deterministic: independent of thread timing AND of the shard
+ *    count.
  */
 
 #ifndef LTP_SIM_PAR_SIM_CONTEXT_HH
@@ -52,11 +56,15 @@ namespace ltp
  * Channel-id helpers for post(). The spaces are disjoint; ids only need
  * to be unique per logical FIFO channel (and each channel must be fed
  * from a single shard for the canonical merge order to be total).
+ *
+ * Ids must fit 32 bits (EventQueue packs them next to the round phase
+ * in one ordering word), so the space tag sits at bit 28: room for
+ * 2^28 ids per space — 16 K nodes' (src, dst) pairs, a million links.
  */
 namespace chan
 {
 
-constexpr std::uint64_t spaceShift = 60;
+constexpr std::uint64_t spaceShift = 28;
 
 /** Point-to-point flight of the (src, dst) node pair. */
 constexpr std::uint64_t

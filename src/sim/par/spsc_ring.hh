@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SpscRing: a fixed-capacity, lock-free single-producer/single-consumer
+ * ring buffer.
+ *
+ * The parallel engine's mailbox lanes are exactly SPSC: each (source
+ * shard, destination shard) lane has one writer (the source shard's
+ * worker thread, during window execution) and one reader (the
+ * destination shard's worker, at the window barrier). The ring makes a
+ * lane's hand-off wait-free and allocation-free: head and tail live on
+ * separate cache lines so the producer's stores never bounce the
+ * consumer's line, and the slot array is written once per item with no
+ * CAS, no mutex and no heap traffic.
+ *
+ * Capacity is a compile-time power of two. tryPush() returns false when
+ * full — the caller decides the overflow policy (the scheduler spills
+ * to a plain per-lane vector that only the barrier phase reads, keeping
+ * FIFO order; see ParallelScheduler::Lane).
+ *
+ * Memory ordering: the producer publishes a slot with a release store
+ * of tail; the consumer acquires tail before reading the slot and
+ * publishes consumption with a release store of head. This is the
+ * classic Lamport SPSC queue, valid only for exactly one concurrent
+ * producer thread and one concurrent consumer thread.
+ */
+
+#ifndef LTP_SIM_PAR_SPSC_RING_HH
+#define LTP_SIM_PAR_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ltp
+{
+
+template <typename T, std::size_t Capacity>
+class SpscRing
+{
+    static_assert(Capacity >= 2 && (Capacity & (Capacity - 1)) == 0,
+                  "capacity must be a power of two");
+
+  public:
+    SpscRing() = default;
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    static constexpr std::size_t capacity() { return Capacity; }
+
+    /** Producer side. @return false when the ring is full. */
+    bool
+    tryPush(T &&value)
+    {
+        std::size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - headCache_ == Capacity) {
+            // Refresh the cached head before giving up: the consumer
+            // may have drained since we last looked.
+            headCache_ = head_.load(std::memory_order_acquire);
+            if (tail - headCache_ == Capacity)
+                return false;
+        }
+        if (slots_.empty()) {
+            // Lazy storage: with S shards there are S^2 lanes but only
+            // neighbor shards actually talk on local topologies, so
+            // idle lanes stay at zero bytes. Single writer (this
+            // producer), and the release store of tail_ below
+            // publishes the resized vector before the consumer ever
+            // indexes it (tryPop touches slots_ only after observing
+            // tail_ > head).
+            slots_.resize(Capacity);
+        }
+        slots_[tail & (Capacity - 1)] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. @return false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tailCache_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (head == tailCache_)
+                return false;
+        }
+        out = std::move(slots_[head & (Capacity - 1)]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Racy size estimate; exact when producer and consumer are quiet. */
+    std::size_t
+    size() const
+    {
+        return tail_.load(std::memory_order_acquire) -
+               head_.load(std::memory_order_acquire);
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    // One cache line per side: the consumer's line holds head_ plus its
+    // private tail cache, the producer's line holds tail_ plus its
+    // private head cache. Each thread dirties only its own line; the
+    // cross-line reads (acquire loads) happen only when a cached bound
+    // goes stale.
+    alignas(64) std::atomic<std::size_t> head_{0}; //!< next slot to pop
+    std::size_t tailCache_ = 0;             //!< consumer's view of tail_
+    alignas(64) std::atomic<std::size_t> tail_{0}; //!< next slot to fill
+    std::size_t headCache_ = 0;             //!< producer's view of head_
+
+    std::vector<T> slots_;
+};
+
+} // namespace ltp
+
+#endif // LTP_SIM_PAR_SPSC_RING_HH

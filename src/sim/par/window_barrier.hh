@@ -3,17 +3,22 @@
  * WindowBarrier: the synchronization point between parallel-engine
  * rounds.
  *
- * A sense-reversing spin barrier for a small, fixed set of shard
- * threads. The last thread to arrive runs a completion callable while
- * every other thread is parked — that is where the engine merges
- * cross-shard mailboxes and plans the next conservative window with
- * all shards quiescent — then releases the generation.
+ * A sense-reversing barrier for a small, fixed set of shard threads.
+ * The last thread to arrive runs a completion callable while every
+ * other thread is parked — that is where the engine merges cross-shard
+ * mailboxes and plans the next conservative window with all shards
+ * quiescent — then releases the generation.
  *
  * Windows are tens of microseconds of work, so waiters spin with a
- * cpu-relax hint first and only fall back to yielding; a futex/condvar
- * would cost more than the wait. When the machine has fewer cores than
- * parties (oversubscribed), spinning only steals the running thread's
- * timeslice, so waiters yield immediately instead.
+ * cpu-relax hint first; a short wait almost always ends inside the
+ * spin budget. When it does not — a shard with a lopsided window, or a
+ * machine with fewer cores than shards — the waiter parks on a futex
+ * keyed to the generation word instead of burning its timeslice, and
+ * the releasing thread wakes the parked set only when someone actually
+ * sleeps (a flag keeps the common all-spinners round syscall-free).
+ * On non-Linux hosts the park degrades to std::this_thread::yield().
+ * Oversubscribed runs (more parties than cores) skip the spin phase
+ * entirely: spinning there only steals the running shard's timeslice.
  */
 
 #ifndef LTP_SIM_PAR_WINDOW_BARRIER_HH
@@ -22,6 +27,14 @@
 #include <atomic>
 #include <cstdint>
 #include <thread>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <climits>
+#endif
 
 namespace ltp
 {
@@ -51,12 +64,24 @@ class WindowBarrier
     void
     arriveAndWait(F &&completion)
     {
-        std::uint64_t gen = generation_.load(std::memory_order_acquire);
+        std::uint32_t gen = generation_.load(std::memory_order_acquire);
         if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             parties_) {
             completion();
             arrived_.store(0, std::memory_order_relaxed);
-            generation_.fetch_add(1, std::memory_order_release);
+            // Publish the new generation BEFORE reading the sleeper
+            // flag: a waiter that sets the flag after our exchange is
+            // guaranteed to observe the new generation (or to have its
+            // futex-wait bounce off the changed word), so no wake-up
+            // can be lost. Both sides of this Dekker-style handshake
+            // (store generation / load sleepers here, store sleepers /
+            // load generation in park()) must be seq_cst: with mere
+            // release ordering a weakly ordered machine could hoist
+            // the sleepers_ read above the generation publish and
+            // elide the wake for a waiter that then sleeps forever.
+            generation_.fetch_add(1, std::memory_order_seq_cst);
+            if (sleepers_.exchange(false, std::memory_order_seq_cst))
+                wakeAll();
             return;
         }
         unsigned spins = 0;
@@ -66,7 +91,7 @@ class WindowBarrier
                 __builtin_ia32_pause();
 #endif
             } else {
-                std::this_thread::yield();
+                park(gen);
             }
         }
     }
@@ -77,10 +102,43 @@ class WindowBarrier
     unsigned parties() const { return parties_; }
 
   private:
+    void
+    park(std::uint32_t gen)
+    {
+#if defined(__linux__)
+        sleepers_.store(true, std::memory_order_seq_cst);
+        // FUTEX_WAIT re-checks the word against gen atomically in the
+        // kernel: if the releaser already bumped the generation this
+        // returns immediately with EAGAIN instead of sleeping.
+        syscall(SYS_futex, reinterpret_cast<std::uint32_t *>(&generation_),
+                FUTEX_WAIT_PRIVATE, gen, nullptr, nullptr, 0);
+#else
+        (void)gen;
+        std::this_thread::yield();
+#endif
+    }
+
+    void
+    wakeAll()
+    {
+#if defined(__linux__)
+        syscall(SYS_futex, reinterpret_cast<std::uint32_t *>(&generation_),
+                FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+#endif
+    }
+
     const unsigned parties_;
-    const unsigned spinLimit_; //!< 0 when oversubscribed: yield at once
+    const unsigned spinLimit_; //!< 0 when oversubscribed: park at once
     std::atomic<unsigned> arrived_{0};
-    std::atomic<std::uint64_t> generation_{0};
+    /** The futex word. 32 bits so the kernel can compare it; wraparound
+     *  is harmless (waiters only test inequality, and 2^32 windows is
+     *  far beyond any run). */
+    std::atomic<std::uint32_t> generation_{0};
+    /** Set by a parking waiter; cleared (and acted on) by the releaser. */
+    std::atomic<bool> sleepers_{false};
+
+    static_assert(sizeof(std::atomic<std::uint32_t>) == 4,
+                  "futex word must be 32 bits");
 };
 
 } // namespace ltp

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "dsm/experiment.hh"
 
 namespace ltp
@@ -39,6 +41,40 @@ TEST(SystemParams, Table1Defaults)
     EXPECT_EQ(p.dir.memAccess, 104u);
     EXPECT_EQ(p.net.flightLatency, 80u);
     EXPECT_TRUE(p.dir.pipelined);
+}
+
+TEST(SimThreads, ParseAcceptsExactDecimalInRange)
+{
+    EXPECT_EQ(parseSimThreads("1"), 1u);
+    EXPECT_EQ(parseSimThreads("2"), 2u);
+    EXPECT_EQ(parseSimThreads("64"), 64u);
+    EXPECT_EQ(parseSimThreads("256"), 256u); // maxSimThreads, inclusive
+}
+
+TEST(SimThreads, ParseRejectsGarbageLoudly)
+{
+    // A typo'd LTP_SIM_THREADS must fail the run, never silently fall
+    // back to one thread.
+    for (const char *bad : {"", "0", "257", "2000000", "-1", "two",
+                            "2x", " 2", "2 ", "0x4", "+4", "4.0"}) {
+        EXPECT_THROW(parseSimThreads(bad), std::invalid_argument)
+            << "accepted \"" << bad << '"';
+    }
+}
+
+TEST(SimThreads, SystemRejectsOutOfRangeThreadCounts)
+{
+    SystemParams zero;
+    zero.simThreads = 0;
+    EXPECT_THROW(DsmSystem{zero}, std::invalid_argument);
+
+    SystemParams absurd;
+    absurd.simThreads = maxSimThreads + 1;
+    EXPECT_THROW(DsmSystem{absurd}, std::invalid_argument);
+
+    SystemParams max_ok;
+    max_ok.simThreads = maxSimThreads; // clamped to numNodes by the plan
+    EXPECT_NO_THROW(DsmSystem{max_ok});
 }
 
 TEST(DsmSystem, RunTwiceThrows)

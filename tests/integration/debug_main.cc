@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "dsm/experiment.hh"
@@ -54,10 +55,15 @@ main(int argc, char **argv)
         }
         sp.net.routing = *routing;
     }
-    if (argc > 8)
-        sp.simThreads = unsigned(std::atoi(argv[8]));
-    else if (const char *env = std::getenv("LTP_SIM_THREADS"))
-        sp.simThreads = unsigned(std::strtoul(env, nullptr, 10));
+    try {
+        if (argc > 8)
+            sp.simThreads = ltp::parseSimThreads(argv[8]);
+        else if (const char *env = std::getenv("LTP_SIM_THREADS"))
+            sp.simThreads = ltp::parseSimThreads(env);
+    } catch (const std::invalid_argument &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
 
     ltp::KernelConfig cfg = ltp::defaultConfig(spec.kernel);
     cfg.nodes = sp.numNodes;

@@ -325,5 +325,129 @@ TEST(EventQueue, RandomizedStressMatchesReferenceModel)
     EXPECT_TRUE(eq.empty());
 }
 
+// ---- channel-keyed same-tick tie-break (the direct-dispatch order) ----
+
+TEST(EventQueueChannel, SameTickOrdersByChannelIdNotScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Scheduled high channel first: execution must sort by channel id.
+    eq.scheduleAtChannel(10, 9, [&] { order.push_back(9); });
+    eq.scheduleAtChannel(10, 3, [&] { order.push_back(3); });
+    eq.scheduleAtChannel(10, 7, [&] { order.push_back(7); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{3, 7, 9}));
+}
+
+TEST(EventQueueChannel, FifoWithinOneChannel)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.scheduleAtChannel(10, 42, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueChannel, LocalsRunBeforeSameRoundChannelPosts)
+{
+    // A round's scheduleAt() events precede its channel posts at the
+    // same tick even when the posts were scheduled first — this is the
+    // staged engine's barrier boundary: posts of round r are merged
+    // after round r has fully executed.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAtChannel(10, 1, [&] { order.push_back(100); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAtChannel(10, 2, [&] { order.push_back(200); });
+    eq.scheduleAt(10, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 100, 200}));
+}
+
+TEST(EventQueueChannel, BeginRoundSeparatesPostBatches)
+{
+    // Round r's posts execute before round r+1's locals AND before
+    // round r+1's posts at the same tick, whatever the channel ids —
+    // the round boundary dominates the channel tie-break, exactly like
+    // successive barrier merges in the staged engine.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.beginRound(); // round 1
+    eq.scheduleAtChannel(50, 9, [&] { order.push_back(19); });
+    eq.beginRound(); // round 2
+    eq.scheduleAt(50, [&] { order.push_back(2); });
+    eq.scheduleAtChannel(50, 1, [&] { order.push_back(21); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{19, 2, 21}));
+}
+
+TEST(EventQueueChannel, CancelSkipsChannelEventAndKeepsOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAtChannel(10, 5, [&] { order.push_back(5); });
+    auto doomed = eq.scheduleAtChannel(10, 6, [&] { order.push_back(6); });
+    eq.scheduleAtChannel(10, 7, [&] { order.push_back(7); });
+    EXPECT_TRUE(eq.cancel(doomed));
+    EXPECT_FALSE(eq.cancel(doomed)); // ids are single-use
+
+    // The recycled slot's next occupant keeps ITS OWN key (generation
+    // tags make the old bucket entry a tombstone, not a dangling ref).
+    eq.scheduleAtChannel(10, 4, [&] { order.push_back(4); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{4, 5, 7}));
+}
+
+TEST(EventQueueChannel, OverflowMigrationKeepsChannelOrder)
+{
+    // Channel events beyond the calendar window park in the overflow
+    // heap; once migrated they must still interleave by key with ring
+    // entries scheduled later for the same tick.
+    EventQueue eq;
+    std::vector<int> order;
+    Tick far = 5000; // beyond the 2048-tick bucket ring
+    eq.scheduleAtChannel(far, 8, [&] { order.push_back(8); });
+    eq.scheduleAtChannel(far, 2, [&] { order.push_back(2); });
+    // Bring `far` into the window, then add a same-tick competitor.
+    eq.scheduleAt(4000, [&] {
+        eq.scheduleAtChannel(far, 5, [&] { order.push_back(5); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 5, 8}));
+    EXPECT_EQ(eq.now(), far);
+}
+
+TEST(EventQueueChannel, RunWindowedDrivesRoundsLikeTheStagedEngine)
+{
+    // runWindowed(limit, L) must (a) open a round per conservative
+    // window [W, W + L), (b) execute posts of round r after round r's
+    // locals and before round r+1's locals, and (c) reach the same
+    // final tick as a plain run.
+    EventQueue eq;
+    std::vector<int> order;
+    // Two windows of width 10: events at 0..9 are round 1, 15.. round 2.
+    eq.scheduleAt(0, [&] {
+        order.push_back(1);
+        // Post landing in the next window, channel 3.
+        eq.scheduleAtChannel(15, 3, [&] { order.push_back(23); });
+    });
+    eq.scheduleAt(5, [&] {
+        order.push_back(2);
+        // Same tick 15, smaller channel, posted later: channel order.
+        eq.scheduleAtChannel(15, 1, [&] { order.push_back(21); });
+    });
+    // A round-2 local at tick 15 — scheduled during round 2, so it runs
+    // BEFORE round 1's posts? No: it is scheduled by a round-2 event
+    // only if one exists earlier in round 2. Here it is scheduled up
+    // front (round 0 of the setup phase), so it precedes the posts.
+    eq.scheduleAt(15, [&] { order.push_back(3); });
+    eq.runWindowed(tickNever, 10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 21, 23}));
+    EXPECT_EQ(eq.now(), 15u);
+    EXPECT_GE(eq.windowEnd(), 15u);
+}
+
 } // namespace
 } // namespace ltp

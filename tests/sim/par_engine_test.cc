@@ -169,6 +169,43 @@ TEST(Lookahead, ShardPlanClampsAndFallsBack)
     EXPECT_EQ(plan.serialReason, "verification feedback");
 }
 
+TEST(ParallelSchedulerTest, OneShardUsesDirectDispatch)
+{
+    ParallelScheduler one(1, 4, /*window=*/10);
+    EXPECT_TRUE(one.directDispatch());
+    ParallelScheduler two(2, 4, /*window=*/10);
+    EXPECT_FALSE(two.directDispatch());
+}
+
+TEST(ParallelSchedulerTest, MailboxSpillKeepsCanonicalOrder)
+{
+    // Blast one round with far more posts than a lane's ring capacity
+    // (256): the overflow spills to the lane's vector and the barrier
+    // merge must still apply everything, in (tick, channel) order, with
+    // nothing lost. Run the same storm at 1 and 2 shards and compare.
+    auto run = [](unsigned shards) {
+        constexpr int kPosts = 700;
+        ParallelScheduler sched(shards, 2, /*window=*/10);
+        std::vector<int> log; // only ever touched on node 1's shard
+        sched.queueFor(0).scheduleAt(0, [&] {
+            // Descending channel ids: canonical order must ascend.
+            for (int i = kPosts - 1; i >= 0; --i) {
+                sched.post(1, 10, std::uint64_t(i),
+                           [&log, i] { log.push_back(i); });
+            }
+        });
+        sched.runUntil(1000);
+        return log;
+    };
+
+    auto one = run(1);
+    auto two = run(2);
+    ASSERT_EQ(one.size(), 700u);
+    for (int i = 0; i < 700; ++i)
+        EXPECT_EQ(one[i], i);
+    EXPECT_EQ(one, two);
+}
+
 TEST(ParallelSchedulerTest, CanonicalMergeOrderIsShardCountInvariant)
 {
     // Two "nodes" post to each other every window; the observed

@@ -1,0 +1,128 @@
+/** @file Unit tests for the lock-free SPSC mailbox ring. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/par/spsc_ring.hh"
+
+namespace ltp
+{
+namespace
+{
+
+TEST(SpscRing, StartsEmptyAndPopFails)
+{
+    SpscRing<int, 8> ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+    int out = -1;
+    EXPECT_FALSE(ring.tryPop(out));
+    EXPECT_EQ(out, -1);
+}
+
+TEST(SpscRing, FifoOrderAndFullBoundary)
+{
+    SpscRing<int, 4> ring;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.tryPush(int(i)));
+    // Exactly Capacity items fit; the next push must fail, not clobber.
+    EXPECT_FALSE(ring.tryPush(99));
+    EXPECT_EQ(ring.size(), 4u);
+
+    int out = -1;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(ring.tryPop(out));
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PushAfterDrainReusesSlots)
+{
+    SpscRing<int, 4> ring;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.tryPush(int(i)));
+    int out;
+    ASSERT_TRUE(ring.tryPop(out));
+    // One slot freed: exactly one more push fits (full-boundary math
+    // with wrapped indices, not masked positions).
+    EXPECT_TRUE(ring.tryPush(4));
+    EXPECT_FALSE(ring.tryPush(5));
+}
+
+TEST(SpscRing, WraparoundManyTimesKeepsFifo)
+{
+    // Push/pop far beyond the capacity so head/tail wrap the index
+    // space of the (power-of-two) ring repeatedly.
+    SpscRing<std::uint32_t, 8> ring;
+    std::uint32_t next_push = 0, next_pop = 0;
+    for (int cycle = 0; cycle < 1000; ++cycle) {
+        unsigned burst = 1 + (cycle % 7);
+        for (unsigned i = 0; i < burst; ++i) {
+            if (!ring.tryPush(std::uint32_t(next_push)))
+                break;
+            ++next_push;
+        }
+        std::uint32_t out;
+        unsigned drain = 1 + ((cycle * 3) % 7);
+        for (unsigned i = 0; i < drain; ++i) {
+            if (!ring.tryPop(out))
+                break;
+            ASSERT_EQ(out, next_pop);
+            ++next_pop;
+        }
+    }
+    std::uint32_t out;
+    while (ring.tryPop(out)) {
+        ASSERT_EQ(out, next_pop);
+        ++next_pop;
+    }
+    EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRing, MoveOnlyPayloads)
+{
+    SpscRing<std::unique_ptr<int>, 4> ring;
+    EXPECT_TRUE(ring.tryPush(std::make_unique<int>(7)));
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(ring.tryPop(out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscRingStress, SingleProducerSingleConsumerSeesEveryItemInOrder)
+{
+    // One producer thread races one consumer over a small ring so the
+    // full and empty boundaries are hit constantly. The consumer must
+    // observe exactly 0..N-1 in order — any lost wakeup, torn slot, or
+    // off-by-one in the index math breaks the sequence.
+    constexpr std::uint32_t kItems = 200'000;
+    SpscRing<std::uint32_t, 64> ring;
+
+    std::thread producer([&] {
+        std::uint32_t next = 0;
+        while (next < kItems) {
+            if (ring.tryPush(std::uint32_t(next)))
+                ++next;
+        }
+    });
+
+    std::uint32_t expect = 0;
+    std::uint32_t out;
+    while (expect < kItems) {
+        if (ring.tryPop(out)) {
+            ASSERT_EQ(out, expect);
+            ++expect;
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
+} // namespace
+} // namespace ltp

@@ -18,13 +18,23 @@ refreshing the committed baseline) fails the gate.
 Multi-thread cells of the `parallel` section (configs matching
 "...-tN" with N > 1) are reported but exempt from the ratio gates:
 their throughput depends on the runner's core count, which the
-committed trajectory cannot pin. The "-t1" cells ARE gated — they are
-the sequential baseline the parallel engine must not regress.
+committed trajectory cannot pin. bench_perf additionally stamps such
+rows with "oversubscribed": true when they ran with more worker
+threads than the machine has cores — flagged in the table, since those
+wall clocks measure scheduler thrash, not engine speed. The "-t1"
+cells ARE gated — they are the sequential baseline the parallel engine
+must not regress.
+
+Besides the pass/fail verdict, the gate prints a per-cell delta table
+(events/sec old -> new, %) and, when running under GitHub Actions
+(GITHUB_STEP_SUMMARY set), appends the same table as markdown to the
+job summary so a PR's perf movement is visible without opening logs.
 """
 
 import argparse
 import json
 import math
+import os
 import re
 import sys
 
@@ -43,6 +53,27 @@ def load_runs(path):
     if doc.get("schema") != "bench_core/v1":
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return {(r["kernel"], r["config"]): r for r in doc["runs"]}
+
+
+def write_github_summary(rows, geomean, limit, failures):
+    """Append the delta table to the GitHub Actions job summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as f:
+        f.write("### Perf gate: events/sec vs committed trajectory\n\n")
+        f.write("| kernel | config | base ev/s | fresh ev/s | delta | |\n")
+        f.write("|---|---|---:|---:|---:|---|\n")
+        for kernel, config, base, fresh, note in rows:
+            delta = 100.0 * (fresh / base - 1.0) if base > 0 else 0.0
+            f.write(f"| {kernel} | {config} | {base:,.0f} | {fresh:,.0f} "
+                    f"| {delta:+.1f}% | {note} |\n")
+        if geomean is not None:
+            verdict = "PASS" if not failures else "FAIL"
+            f.write(f"\n**geomean ratio (gated cells): {geomean:.3f}** "
+                    f"(limit {limit:.3f}) — **{verdict}**\n")
+        for failure in failures:
+            f.write(f"- :x: {failure}\n")
 
 
 def main():
@@ -65,8 +96,9 @@ def main():
                         "run — refresh the committed baseline")
 
     ratios = []
+    rows = []  # (kernel, config, base ev/s, fresh ev/s, note)
     print(f"{'kernel':<14}{'config':<12}{'base ev/s':>14}"
-          f"{'fresh ev/s':>14}{'ratio':>8}")
+          f"{'fresh ev/s':>14}{'ratio':>8}{'delta':>9}")
     for key in sorted(base):
         kernel, config = key
         b = base[key]
@@ -80,19 +112,29 @@ def main():
         if b["eventsPerSec"] <= 0:
             continue
         ratio = f["eventsPerSec"] / b["eventsPerSec"]
+        delta = f"{100.0 * (ratio - 1.0):+8.1f}%"
         if not gated(config):
+            note = "not gated"
+            if f.get("oversubscribed"):
+                note += ", oversubscribed"
             print(f"{kernel:<14}{config:<12}{b['eventsPerSec']:>14.0f}"
-                  f"{f['eventsPerSec']:>14.0f}{ratio:>8.3f}  (not gated)")
+                  f"{f['eventsPerSec']:>14.0f}{ratio:>8.3f}{delta}"
+                  f"  ({note})")
+            rows.append((kernel, config, b["eventsPerSec"],
+                         f["eventsPerSec"], note))
             continue
         ratios.append(ratio)
         flag = "" if ratio >= cell_floor else "  << REGRESSION"
         print(f"{kernel:<14}{config:<12}{b['eventsPerSec']:>14.0f}"
-              f"{f['eventsPerSec']:>14.0f}{ratio:>8.3f}{flag}")
+              f"{f['eventsPerSec']:>14.0f}{ratio:>8.3f}{delta}{flag}")
+        rows.append((kernel, config, b["eventsPerSec"], f["eventsPerSec"],
+                     "REGRESSION" if ratio < cell_floor else ""))
         if ratio < cell_floor:
             failures.append(
                 f"{kernel}/{config}: events/sec fell to {ratio:.3f}x "
                 f"(per-cell floor {cell_floor:.3f}x)")
 
+    geomean = None
     if ratios:
         geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
         print(f"\ngeomean events/sec ratio: {geomean:.3f} "
@@ -101,6 +143,8 @@ def main():
             failures.append(
                 f"geomean events/sec fell to {geomean:.3f}x "
                 f"(limit {1.0 - args.threshold:.3f}x)")
+
+    write_github_summary(rows, geomean, 1.0 - args.threshold, failures)
 
     if failures:
         print(f"\nFAIL: {len(failures)} perf gate violation(s):")
