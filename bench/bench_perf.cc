@@ -58,6 +58,8 @@ struct Sample
     std::uint64_t cycles = 0;
     std::uint64_t events = 0;
     std::uint64_t msgs = 0;
+    /** Engine self-profile (extra JSON keys; ignored by perf_gate). */
+    obs::EngineProfile profile;
 
     double rate(std::uint64_t n) const
     {
@@ -92,6 +94,7 @@ runSpec(ExperimentSpec spec, const std::string &config_name)
     s.cycles = r.cycles;
     s.events = r.eventsExecuted;
     s.msgs = r.netMsgs;
+    s.profile = r.engineProfile;
     return s;
 }
 
@@ -156,7 +159,11 @@ writeJson(const std::string &path, const std::vector<Sample> &samples,
                      "\"threads\": %u, \"completed\": %s, "
                      "\"wallSeconds\": %.4f, "
                      "\"cycles\": %llu, \"events\": %llu, \"msgs\": %llu, "
-                     "\"eventsPerSec\": %.0f, \"msgsPerSec\": %.0f%s}%s\n",
+                     "\"eventsPerSec\": %.0f, \"msgsPerSec\": %.0f%s, "
+                     "\"engineRounds\": %llu, \"windowTicks\": %llu, "
+                     "\"barrierParks\": %llu, \"barrierWaitNs\": %llu, "
+                     "\"spilledPosts\": %llu, "
+                     "\"overflowMigrations\": %llu}%s\n",
                      s.kernel.c_str(), s.config.c_str(), s.threads,
                      s.completed ? "true" : "false", s.wallSeconds,
                      (unsigned long long)s.cycles,
@@ -164,6 +171,12 @@ writeJson(const std::string &path, const std::vector<Sample> &samples,
                      (unsigned long long)s.msgs, s.rate(s.events),
                      s.rate(s.msgs),
                      s.oversubscribed() ? ", \"oversubscribed\": true" : "",
+                     (unsigned long long)s.profile.rounds,
+                     (unsigned long long)s.profile.windowTicks,
+                     (unsigned long long)s.profile.barrierParks,
+                     (unsigned long long)s.profile.barrierWaitNs,
+                     (unsigned long long)s.profile.spilledPosts,
+                     (unsigned long long)s.profile.overflowMigrations,
                      i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -46,6 +46,7 @@ runExperiment(const ExperimentSpec &spec)
         sp.net.topology = spec.topology;
         sp.net.routing = spec.routing;
     }
+    sp.obs = spec.obs ? *spec.obs : obs::obsParamsFromEnv();
 
     KernelConfig cfg =
         spec.config ? *spec.config : defaultConfig(spec.kernel);

@@ -46,6 +46,15 @@ struct ExperimentSpec
      * value — including 1 — pins the run and ignores the environment.
      */
     std::optional<unsigned> simThreads;
+    /**
+     * Observability (tracing + metrics sampling, src/obs/). When unset,
+     * the LTP_TRACE / LTP_TRACE_CATS / LTP_METRICS /
+     * LTP_METRICS_INTERVAL environment variables apply
+     * (obs::obsParamsFromEnv); setting a value — including a default
+     * ObsParams, i.e. everything off — pins it and ignores the
+     * environment. Observer-only either way: results are identical.
+     */
+    std::optional<obs::ObsParams> obs;
 };
 
 /** Run one experiment on a fresh system. */

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "net/network.hh"
+#include "obs/obs_params.hh"
 #include "predictor/ltp_per_block.hh"
 #include "proto/cache_controller.hh"
 #include "proto/dir_controller.hh"
@@ -72,6 +73,13 @@ struct SystemParams
 
     /** Safety net: abort a run that exceeds this many cycles. */
     Tick maxTicks = 4'000'000'000ull;
+
+    /**
+     * Observability: event tracing and time-series metrics sampling
+     * (src/obs/). Observer-only — results and statistics are
+     * byte-identical whatever is enabled here; defaults are all-off.
+     */
+    obs::ObsParams obs;
 
     /** Convenience factories for the standard configurations. */
     static SystemParams base();

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "predictor/dsi.hh"
 #include "predictor/last_pc.hh"
 #include "predictor/ltp_global.hh"
@@ -202,7 +204,53 @@ DsmSystem::run(KernelBase &kernel, const KernelConfig &cfg)
         node.task.start(&node.onDone);
     }
 
+    // Observability bring-up, all observer-only: the tracer buffers
+    // compact records per shard (flushed to Chrome JSON after the run)
+    // and the sampler reads statistics at quiescent points. Neither
+    // schedules events or touches simulated state, so results are
+    // byte-identical with or without them.
+    auto *par = dynamic_cast<ParallelScheduler *>(sim_.get());
+    if (params_.obs.traceEnabled()) {
+        obs::TraceConfig tc;
+        tc.path = params_.obs.traceFile;
+        tc.categories = params_.obs.tracerCategories;
+        tc.eventCapPerShard = params_.obs.traceEventCapPerShard;
+        std::vector<unsigned> node_shard(params_.numNodes);
+        for (NodeId n = 0; n < params_.numNodes; ++n)
+            node_shard[n] = sim_->shardOf(n);
+        obs::Tracer::instance().start(tc, node_shard);
+    }
+    if (params_.obs.metricsEnabled()) {
+        sampler_ = std::make_unique<obs::MetricsSampler>(
+            params_.obs.metricsFile, params_.obs.metricsIntervalTicks);
+        if (par && !par->directDispatch()) {
+            // Staged engine: sample in the window-planning barrier.
+            par->setMetricsSampler(sampler_.get());
+        } else {
+            // One queue (sequential or direct dispatch): the tick
+            // watcher fires between events, rearmed from the sampler's
+            // own due-tick grid.
+            sim_->queueFor(0).armTickWatcher(
+                sampler_->nextDue(), [this](Tick now) {
+                    return sampler_->maybeSample(now, sim_->stats(),
+                                                 sim_->eventsExecuted());
+                });
+        }
+    }
+
     sim_->runUntil(params_.maxTicks);
+
+    if (sampler_) {
+        sampler_->finish(sim_->now(), sim_->stats(),
+                         sim_->eventsExecuted());
+        if (par && !par->directDispatch())
+            par->setMetricsSampler(nullptr);
+        else
+            sim_->queueFor(0).disarmTickWatcher();
+    }
+    if (params_.obs.traceEnabled())
+        obs::Tracer::instance().stop();
+
     bool completed =
         finished_.load(std::memory_order_relaxed) == params_.numNodes;
     return collect(completed);
@@ -237,6 +285,12 @@ DsmSystem::collect(bool completed) const
     }
     r.netHopMean = stats.averageMean("net.hopsPerMsg");
     r.netPeakLinkBusy = stats.maxCounterValueWithPrefix("net.linkBusy.");
+
+    if (auto *par = dynamic_cast<ParallelScheduler *>(sim_.get()))
+        r.engineProfile = par->profile();
+    else
+        r.engineProfile.overflowMigrations =
+            sim_->queueFor(0).overflowMigrations();
 
     for (const auto &node : nodes_) {
         if (node->thread)

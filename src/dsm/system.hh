@@ -28,6 +28,7 @@
 #include "mem/addr.hh"
 #include "mem/memory_values.hh"
 #include "net/topo/interconnect.hh"
+#include "obs/engine_profile.hh"
 #include "predictor/invalidation_predictor.hh"
 #include "proto/cache_controller.hh"
 #include "proto/dir_controller.hh"
@@ -38,6 +39,11 @@
 
 namespace ltp
 {
+
+namespace obs
+{
+class MetricsSampler;
+} // namespace obs
 
 /** Aggregate results of one kernel execution. */
 struct RunResult
@@ -75,6 +81,13 @@ struct RunResult
     double netLatencyP99 = 0.0;
     /** Latency samples beyond the histogram range (percentiles clamp). */
     std::uint64_t netLatencyOverflow = 0;
+
+    /**
+     * Host-side engine self-profile (windows, barrier waits, spills).
+     * Machine-dependent wall-clock territory — reported beside the
+     * deterministic results, never inside the stats dump.
+     */
+    obs::EngineProfile engineProfile;
     double netHopMean = 0.0;       //!< 0 for the point-to-point model
     std::uint64_t netPeakLinkBusy = 0; //!< busiest link's busy cycles
 
@@ -164,6 +177,7 @@ class DsmSystem
     std::unique_ptr<SyncDomain> sync_;
     std::vector<std::unique_ptr<DsmNode>> nodes_;
     std::atomic<unsigned> finished_{0};
+    std::unique_ptr<obs::MetricsSampler> sampler_;
 };
 
 } // namespace ltp

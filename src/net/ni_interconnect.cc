@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.hh"
+
 namespace ltp
 {
 
@@ -56,6 +58,8 @@ NiInterconnect::injectLocalOrCount(Message &msg)
     assert(msg.src < sinks_.size() && msg.dst < sinks_.size());
     EventQueue &eq = q(msg.src);
     msg.injectedAt = eq.now();
+    obs::Tracer::instant(obs::Cat::Message, msg.src, "inject", eq.now(),
+                         msg.dst, std::uint64_t(msg.type));
     unsigned shard = ctx_->shardOf(msg.src);
     msgsSent_[shard]->inc();
     if (carriesData(msg.type))
@@ -113,6 +117,10 @@ void
 NiInterconnect::deliver(const Message &msg)
 {
     Tick lat = q(msg.dst).now() - msg.injectedAt;
+    // The end-to-end message-lifecycle span, named by type, on the
+    // destination node's track: inject -> (NI, flight, hops) -> deliver.
+    obs::Tracer::span(obs::Cat::Message, msg.dst, msgTypeName(msg.type),
+                      msg.injectedAt, q(msg.dst).now(), msg.src, msg.dst);
     unsigned shard = ctx_->shardOf(msg.dst);
     endToEndLatency_[shard]->sample(double(lat));
     latencyHist_[shard]->sample(double(lat));

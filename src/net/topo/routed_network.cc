@@ -4,6 +4,8 @@
 #include <cassert>
 #include <string>
 
+#include "obs/trace.hh"
+
 namespace ltp
 {
 
@@ -251,6 +253,8 @@ RoutedNetwork::drainLink(std::size_t l)
         link.q.erase(link.q.begin() +
                      std::deque<Entry>::difference_type(blocked));
         escapeReroutes_[ctx().shardOf(link.from)]->inc();
+        obs::Tracer::instant(obs::Cat::Link, link.from, "escape reroute",
+                             q(link.from).now(), e.msg.dst);
         NodeId dor = geom_.nextHop(link.from, e.msg.dst);
         e.vc = escapeVc(link.from, dor, e.msg);
         std::size_t el = routeLink(link.from, dor);
@@ -281,6 +285,11 @@ RoutedNetwork::grant(std::size_t l, Entry e)
     link.msgs->inc();
     link.busyCycles->inc(ser);
     hops_[ctx().shardOf(link.from)]->inc();
+    // The wire-busy span on the upstream router's track: one grant =
+    // one serialization window on link from->to via the allocated VC.
+    obs::Tracer::span(obs::Cat::Link, link.from, "grant",
+                      q(link.from).now(), q(link.from).now() + ser,
+                      link.to, e.vc);
 
     Message msg = e.msg;
     if (link.wrap)

@@ -1,0 +1,64 @@
+#include "obs/categories.hh"
+
+#include <stdexcept>
+
+namespace ltp
+{
+namespace obs
+{
+
+const char *
+catName(Cat c)
+{
+    switch (c) {
+      case Cat::Message: return "message";
+      case Cat::Link: return "link";
+      case Cat::Directory: return "directory";
+      case Cat::Cache: return "cache";
+      case Cat::Predictor: return "predictor";
+      case Cat::Engine: return "engine";
+      case Cat::NumCats: break;
+    }
+    return "?";
+}
+
+std::optional<Cat>
+parseCat(const std::string &token)
+{
+    for (unsigned i = 0; i < numCats; ++i) {
+        if (token == catName(Cat(i)))
+            return Cat(i);
+    }
+    return std::nullopt;
+}
+
+std::uint32_t
+parseCategoryMask(const std::string &csv)
+{
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > pos) {
+            std::string token = csv.substr(pos, comma - pos);
+            if (token == "all") {
+                mask |= allCatsMask;
+            } else if (auto c = parseCat(token)) {
+                mask |= catBit(*c);
+            } else {
+                throw std::invalid_argument(
+                    "unknown observability category \"" + token +
+                    "\" (expected a comma-separated list of: all, "
+                    "message, link, directory, cache, predictor, "
+                    "engine)");
+            }
+        }
+        pos = comma + 1;
+    }
+    return mask;
+}
+
+} // namespace obs
+} // namespace ltp

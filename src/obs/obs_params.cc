@@ -1,0 +1,35 @@
+#include "obs/obs_params.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ltp
+{
+namespace obs
+{
+
+ObsParams
+obsParamsFromEnv()
+{
+    ObsParams obs;
+    if (const char *v = std::getenv("LTP_TRACE"))
+        obs.traceFile = v;
+    if (const char *v = std::getenv("LTP_TRACE_CATS"))
+        obs.tracerCategories = parseCategoryMask(v);
+    if (const char *v = std::getenv("LTP_METRICS"))
+        obs.metricsFile = v;
+    if (const char *v = std::getenv("LTP_METRICS_INTERVAL")) {
+        char *end = nullptr;
+        unsigned long long ticks = std::strtoull(v, &end, 10);
+        if (!end || *end != '\0' || ticks == 0) {
+            throw std::invalid_argument(
+                std::string("LTP_METRICS_INTERVAL: expected a positive "
+                            "tick count, got \"") + v + "\"");
+        }
+        obs.metricsIntervalTicks = Tick(ticks);
+    }
+    return obs;
+}
+
+} // namespace obs
+} // namespace ltp

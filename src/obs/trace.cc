@@ -1,0 +1,213 @@
+#include "obs/trace.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+namespace ltp
+{
+namespace obs
+{
+
+std::atomic<std::uint32_t> Tracer::activeMask_{0};
+
+namespace
+{
+
+/** The calling thread's shard buffer index; rebound by bindThread(). */
+thread_local unsigned tlsTraceShard = 0;
+
+std::string
+substitutePid(std::string path)
+{
+    std::size_t at = path.find("%p");
+    if (at != std::string::npos)
+        path.replace(at, 2, std::to_string(::getpid()));
+    return path;
+}
+
+} // namespace
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::bindThread(unsigned shard)
+{
+    tlsTraceShard = shard;
+}
+
+unsigned
+Tracer::boundShard()
+{
+    return tlsTraceShard;
+}
+
+void
+Tracer::start(const TraceConfig &config,
+              const std::vector<unsigned> &node_shard)
+{
+    if (active())
+        stop();
+    if (config.path.empty())
+        return;
+
+    config_ = config;
+    nodeShard_ = node_shard;
+    unsigned shards = 1;
+    for (unsigned s : nodeShard_)
+        shards = std::max(shards, s + 1);
+    buffers_.clear();
+    for (unsigned s = 0; s < shards; ++s)
+        buffers_.push_back(std::make_unique<ShardBuf>());
+    lastDropped_ = 0;
+    activeMask_.store(config_.categories & allCatsMask,
+                      std::memory_order_relaxed);
+}
+
+void
+Tracer::record(Cat c, bool span, std::uint32_t node, const char *name,
+               Tick ts, Tick dur, std::uint64_t a0, std::uint64_t a1)
+{
+    unsigned shard = tlsTraceShard;
+    if (shard >= buffers_.size())
+        shard = 0;
+    ShardBuf &buf = *buffers_[shard];
+    if (buf.count >= config_.eventCapPerShard) {
+        ++buf.dropped;
+        return;
+    }
+    Rec rec;
+    rec.ts = ts;
+    rec.dur = dur;
+    rec.a0 = a0;
+    rec.a1 = a1;
+    rec.name = name;
+    rec.node = node;
+    rec.shard = std::uint16_t(shard);
+    rec.cat = std::uint8_t(c);
+    rec.span = span;
+    // Lane idiom: once a buffer has spilled past its ring it must keep
+    // spilling, or ring-then-spill drain order would interleave.
+    if (!buf.spill.empty() || !buf.ring.tryPush(std::move(rec)))
+        buf.spill.push_back(rec);
+    ++buf.count;
+}
+
+void
+Tracer::stop()
+{
+    if (!active())
+        return;
+    activeMask_.store(0, std::memory_order_relaxed);
+
+    std::vector<Rec> recs;
+    lastDropped_ = 0;
+    for (auto &buf : buffers_) {
+        recs.reserve(recs.size() + buf->count);
+        Rec rec;
+        while (buf->ring.tryPop(rec))
+            recs.push_back(rec);
+        recs.insert(recs.end(), buf->spill.begin(), buf->spill.end());
+        lastDropped_ += buf->dropped;
+    }
+    unsigned shards = unsigned(buffers_.size());
+    buffers_.clear();
+
+    // Perfetto tolerates unsorted input, but a time-sorted file is
+    // friendlier to trace_summarize.py and to diffing.
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const Rec &a, const Rec &b) { return a.ts < b.ts; });
+
+    std::ofstream out(substitutePid(config_.path));
+    if (!out)
+        return;
+
+    auto pidOf = [](const Rec &r) {
+        return Cat(r.cat) == Cat::Engine ? enginePidBase + r.node : r.node;
+    };
+
+    out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
+        << lastDropped_ << "},\"traceEvents\":[\n";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out << ",\n";
+        first = false;
+    };
+    for (std::uint32_t node = 0; node < nodeShard_.size(); ++node) {
+        comma();
+        out << "{\"ph\":\"M\",\"pid\":" << node
+            << ",\"name\":\"process_name\",\"args\":{\"name\":\"node "
+            << node << "\"}}";
+        comma();
+        out << "{\"ph\":\"M\",\"pid\":" << node << ",\"tid\":"
+            << nodeShard_[node]
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\"shard "
+            << nodeShard_[node] << "\"}}";
+    }
+    for (unsigned s = 0; s < shards; ++s) {
+        comma();
+        out << "{\"ph\":\"M\",\"pid\":" << (enginePidBase + s)
+            << ",\"name\":\"process_name\",\"args\":{\"name\":"
+            << "\"engine shard " << s << "\"}}";
+    }
+    char line[256];
+    for (const Rec &rec : recs) {
+        comma();
+        if (rec.span) {
+            std::snprintf(line, sizeof(line),
+                          "{\"ph\":\"X\",\"cat\":\"%s\",\"name\":\"%s\","
+                          "\"pid\":%u,\"tid\":%u,\"ts\":%llu,"
+                          "\"dur\":%llu,\"args\":{\"a0\":%llu,"
+                          "\"a1\":%llu}}",
+                          catName(Cat(rec.cat)), rec.name, pidOf(rec),
+                          unsigned(rec.shard),
+                          (unsigned long long)rec.ts,
+                          (unsigned long long)rec.dur,
+                          (unsigned long long)rec.a0,
+                          (unsigned long long)rec.a1);
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"%s\","
+                          "\"name\":\"%s\",\"pid\":%u,\"tid\":%u,"
+                          "\"ts\":%llu,\"args\":{\"a0\":%llu,"
+                          "\"a1\":%llu}}",
+                          catName(Cat(rec.cat)), rec.name, pidOf(rec),
+                          unsigned(rec.shard),
+                          (unsigned long long)rec.ts,
+                          (unsigned long long)rec.a0,
+                          (unsigned long long)rec.a1);
+        }
+        out << line;
+    }
+    out << "\n]}\n";
+}
+
+std::uint64_t
+Tracer::droppedRecords() const
+{
+    std::uint64_t dropped = lastDropped_;
+    for (const auto &buf : buffers_)
+        dropped += buf->dropped;
+    return dropped;
+}
+
+std::uint64_t
+Tracer::bufferedRecords() const
+{
+    std::uint64_t count = 0;
+    for (const auto &buf : buffers_)
+        count += buf->count;
+    return count;
+}
+
+} // namespace obs
+} // namespace ltp

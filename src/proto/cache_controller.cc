@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace ltp
@@ -94,7 +95,7 @@ CacheController::access(Addr addr, Pc pc, bool is_write, AccessDone done)
 void
 CacheController::receive(const Message &msg)
 {
-    LTP_DPRINTF("CacheCtrl", eq_.now(),
+    LTP_DPRINTF("cache", eq_.now(),
                 "node" << node_ << " " << msg.describe());
     switch (msg.type) {
       case MsgType::DataS:
@@ -122,6 +123,8 @@ CacheController::handleData(const Message &msg)
     Addr blk = msg.addr;
     if (msg.verification == Verification::Premature) {
         predMispredicted_.inc();
+        obs::Tracer::instant(obs::Cat::Predictor, node_, "mispredict",
+                             eq_.now(), blk);
         if (pred_)
             pred_->onVerification(blk, /*premature=*/true);
     }
@@ -209,6 +212,8 @@ CacheController::externalInvalidation(Addr blk)
     if (mode_ == PredictorMode::Passive && pendingPred_.count(blk)) {
         // The predictor had called this trace's last touch: correct.
         predPredicted_.inc();
+        obs::Tracer::instant(obs::Cat::Predictor, node_, "verify",
+                             eq_.now(), blk);
         pendingPred_.erase(blk);
         if (pred_)
             pred_->onVerification(blk, /*premature=*/false);
@@ -232,6 +237,8 @@ CacheController::afterTouch(Addr blk, Pc pc, bool is_write, bool fill)
         // self-invalidated block. Score the misprediction and restart
         // the trace as the re-fetch would have.
         predMispredicted_.inc();
+        obs::Tracer::instant(obs::Cat::Predictor, node_, "mispredict",
+                             eq_.now(), blk);
         pendingPred_.erase(blk);
         pred_->onVerification(blk, /*premature=*/true);
         fill = true;
@@ -240,6 +247,8 @@ CacheController::afterTouch(Addr blk, Pc pc, bool is_write, bool fill)
     bool last_touch = pred_->onTouch(blk, pc, is_write, fill);
     if (!last_touch)
         return;
+    obs::Tracer::instant(obs::Cat::Predictor, node_, "predict", eq_.now(),
+                         blk);
     if (mode_ == PredictorMode::Passive) {
         pendingPred_.insert(blk);
     } else {
@@ -255,6 +264,8 @@ CacheController::requestSelfInvalidate(Addr blk)
         return;
     if (out_.valid && out_.blk == blk)
         return; // a demand transaction for this block is in flight
+    obs::Tracer::instant(obs::Cat::Predictor, node_, "predict", eq_.now(),
+                         blk);
     if (mode_ == PredictorMode::Passive) {
         pendingPred_.insert(blk);
     } else if (mode_ == PredictorMode::Active) {
@@ -276,6 +287,8 @@ CacheController::selfInvalidate(Addr blk)
     msg.addr = blk;
     cache_.invalidate(blk);
     selfInvsIssued_.inc();
+    obs::Tracer::instant(obs::Cat::Predictor, node_, "self-invalidate",
+                         eq_.now(), blk);
     send(msg, params_.ctrlOverhead);
 }
 
@@ -296,6 +309,8 @@ CacheController::onDirVerify(Addr blk, bool premature, bool timely)
         // A correct self-invalidation stands in for the invalidation the
         // directory no longer needs to send.
         predPredicted_.inc();
+        obs::Tracer::instant(obs::Cat::Predictor, node_, "verify",
+                             eq_.now(), blk);
         invalidationsSeen_.inc();
         if (pred_)
             pred_->onVerification(blk, /*premature=*/false);

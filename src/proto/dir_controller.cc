@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace ltp
@@ -67,6 +68,11 @@ DirController::engineKick()
     queueing_.sample(double(eq_.now() - q.arrival));
     Tick latency = process(q);
     service_.sample(double(latency));
+    // One directory transaction: arrival through queueing and service,
+    // named by the message that drove it, requester in a0.
+    obs::Tracer::span(obs::Cat::Directory, node_, msgTypeName(q.msg.type),
+                      q.arrival, eq_.now() + latency, q.msg.src,
+                      q.msg.addr);
 
     Tick occupancy = params_.pipelined ? std::max<Tick>(latency / 2, 1)
                                        : std::max<Tick>(latency, 1);
@@ -81,7 +87,8 @@ Tick
 DirController::process(const Queued &q)
 {
     const Message &msg = q.msg;
-    LTP_DPRINTF("Dir", eq_.now(), "dir" << node_ << " " << msg.describe());
+    LTP_DPRINTF("directory", eq_.now(),
+                "dir" << node_ << " " << msg.describe());
     switch (msg.type) {
       case MsgType::GetS:
       case MsgType::GetX: {

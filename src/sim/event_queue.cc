@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hh"
+
 namespace ltp
 {
 
@@ -54,7 +56,15 @@ EventQueue::migrate()
         if (slots_[slot].id != e.entry.id)
             continue; // cancelled while parked in the overflow heap
         pushBucket(e.when, e.entry);
+        ++overflowMigrations_;
     }
+}
+
+// Out of line: only reached when an armed watcher's threshold is hit.
+__attribute__((noinline)) void
+EventQueue::fireTickWatcher()
+{
+    watchAt_ = watcher_ ? watcher_(now_) : tickNever;
 }
 
 EventQueue::EventId
@@ -244,8 +254,11 @@ Tick
 EventQueue::runUntil(Tick limit)
 {
     std::int64_t slot;
-    while ((slot = popNextLive(limit)) >= 0)
+    while ((slot = popNextLive(limit)) >= 0) {
         executeSlot(std::uint32_t(slot));
+        if (now_ >= watchAt_)
+            fireTickWatcher();
+    }
     return now_;
 }
 
@@ -264,8 +277,15 @@ EventQueue::runWindowed(Tick limit, Tick window)
             windowOpen_ = true;
             windowEnd_ = std::min(when + window - 1, limit);
             beginRound();
+            ++windowedRounds_;
+            windowedTicksSum_ += windowEnd_ - when + 1;
+            if (obs::Tracer::on(obs::Cat::Engine))
+                obs::Tracer::engineSpan("window", when, windowEnd_ + 1,
+                                        windowEnd_ - when + 1);
         }
         executeSlot(std::uint32_t(slot));
+        if (now_ >= watchAt_)
+            fireTickWatcher();
     }
     return now_;
 }

@@ -56,6 +56,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -197,6 +198,44 @@ class EventQueue
     std::uint64_t eventsExecuted() const { return executed_; }
 
     /**
+     * Observer hook for the callback type of armTickWatcher(): invoked
+     * with the current tick, returns the next tick to watch for (or
+     * tickNever to disarm).
+     */
+    using TickWatcher = std::function<Tick(Tick)>;
+
+    /**
+     * Arm a watcher that fires between events, the first time simulated
+     * time reaches (or passes) @p at. The watcher runs at a quiescent
+     * point — after the event that crossed the threshold returned,
+     * before the next one pops — and must not schedule events: it is
+     * the zero-perturbation observation hook the metrics sampler
+     * (obs/metrics.hh) uses to take periodic StatGroup snapshots
+     * without touching eventsExecuted or the run's event stream.
+     * Disarmed cost is one predictable compare per executed event.
+     */
+    void
+    armTickWatcher(Tick at, TickWatcher fn)
+    {
+        watcher_ = std::move(fn);
+        watchAt_ = at;
+    }
+
+    void
+    disarmTickWatcher()
+    {
+        watcher_ = nullptr;
+        watchAt_ = tickNever;
+    }
+
+    /** Windows opened by runWindowed() (the 1-shard round count). */
+    std::uint64_t windowedRounds() const { return windowedRounds_; }
+    /** Sum of runWindowed() window widths in ticks. */
+    std::uint64_t windowedTicksSum() const { return windowedTicksSum_; }
+    /** Far-future events migrated overflow-heap -> calendar ring. */
+    std::uint64_t overflowMigrations() const { return overflowMigrations_; }
+
+    /**
      * Tick of the earliest pending (non-cancelled) event, or tickNever
      * when the queue is drained. Used by the parallel engine to plan
      * conservative windows; prunes tombstones as a side effect but
@@ -294,6 +333,9 @@ class EventQueue
     /** Move overflow events that entered the window into the ring. */
     void migrate();
 
+    /** Run the tick watcher and rearm/disarm from its return value. */
+    void fireTickWatcher();
+
     /**
      * Locate and dequeue the next live event with when <= @p limit.
      * Leaves it (and now_) untouched when the next event is beyond the
@@ -339,6 +381,12 @@ class EventQueue
     std::uint64_t phase_ = 0; //!< even; +1 = the channel-post phase
     std::size_t liveEvents_ = 0;
     std::uint64_t executed_ = 0;
+
+    Tick watchAt_ = tickNever; //!< tickNever = watcher disarmed
+    TickWatcher watcher_;
+    std::uint64_t windowedRounds_ = 0;
+    std::uint64_t windowedTicksSum_ = 0;
+    std::uint64_t overflowMigrations_ = 0;
 };
 
 } // namespace ltp

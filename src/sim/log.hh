@@ -5,6 +5,14 @@
  * Logging is off by default and enabled per category via the environment
  * variable LTP_DEBUG (comma-separated category names, or "all"). Debug
  * output never affects simulated behaviour.
+ *
+ * Category names are the observability taxonomy of obs/categories.hh
+ * (message, link, directory, cache, predictor, engine): the same token
+ * selects a subsystem's debug lines here and its trace events in
+ * LTP_TRACE_CATS, so LTP_DEBUG=directory and LTP_TRACE_CATS=directory
+ * talk about the same thing. This switchboard intentionally accepts any
+ * string (tests enable ad-hoc categories); call sites in src/ stick to
+ * the taxonomy.
  */
 
 #ifndef LTP_SIM_LOG_HH

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace ltp
 {
@@ -68,7 +72,8 @@ ParallelScheduler::post(NodeId dst, Tick when, std::uint64_t chan,
     unsigned from = tlsShard;
     unsigned to = shard_[dst];
     assert(from < parts_.size());
-    parts_[from]->out[to].push(PostItem{when, chan, std::move(cb)});
+    if (parts_[from]->out[to].push(PostItem{when, chan, std::move(cb)}))
+        obs::Tracer::engineInstant("mailbox spill", when, to);
 }
 
 void
@@ -120,32 +125,68 @@ ParallelScheduler::planWindow(Tick limit)
         stop_.store(true, std::memory_order_relaxed);
         return;
     }
-    windowEnd_.store(std::min(w + window_ - 1, limit),
-                     std::memory_order_relaxed);
+    Tick end = std::min(w + window_ - 1, limit);
+    windowStart_.store(w, std::memory_order_relaxed);
+    windowEnd_.store(end, std::memory_order_relaxed);
+    ++rounds_;
+    windowTicksSum_ += end - w + 1;
+    // Metrics sampling belongs exactly here: the completion phase runs
+    // serially with every other shard parked, so the merged StatGroup
+    // is quiescent and reading it perturbs nothing the shards observe.
+    if (sampler_ && w >= sampler_->nextDue())
+        sampler_->maybeSample(w, stats(), eventsExecuted());
 }
 
 void
 ParallelScheduler::workerLoop(unsigned shard, Tick limit)
 {
+    using Clock = std::chrono::steady_clock;
+    auto ns = [](Clock::time_point a, Clock::time_point b) {
+        return std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                .count());
+    };
+
     tlsShard = shard;
+    obs::Tracer::bindThread(shard);
     Partition &p = *parts_[shard];
     for (;;) {
         applyInbox(shard);
         p.nextTick.store(p.eq.nextEventTick(), std::memory_order_relaxed);
 
-        barrier_.arriveAndWait([this, limit] { planWindow(limit); });
+        auto t0 = Clock::now();
+        bool parked =
+            barrier_.arriveAndWait([this, limit] { planWindow(limit); });
+        auto t1 = Clock::now();
+        p.barrierWaitNs += ns(t0, t1);
         if (stop_.load(std::memory_order_relaxed))
             break;
 
+        Tick wStart = windowStart_.load(std::memory_order_relaxed);
+        Tick wEnd = windowEnd_.load(std::memory_order_relaxed);
+        if (obs::Tracer::on(obs::Cat::Engine)) {
+            if (parked)
+                obs::Tracer::engineInstant("barrier park", wStart,
+                                           ns(t0, t1));
+            obs::Tracer::engineSpan("window", wStart, wEnd + 1,
+                                    wEnd - wStart + 1);
+        }
+
         try {
-            p.eq.runUntil(windowEnd_.load(std::memory_order_relaxed));
+            p.eq.runUntil(wEnd);
         } catch (...) {
             std::lock_guard<std::mutex> g(errorMu_);
             if (!error_)
                 error_ = std::current_exception();
         }
 
-        barrier_.arriveAndWait(); // publish lanes for the next round
+        auto t2 = Clock::now();
+        // Publish lanes for the next round.
+        parked = barrier_.arriveAndWait();
+        auto t3 = Clock::now();
+        p.barrierWaitNs += ns(t2, t3);
+        if (parked && obs::Tracer::on(obs::Cat::Engine))
+            obs::Tracer::engineInstant("barrier park", wEnd, ns(t2, t3));
     }
 }
 
@@ -161,7 +202,30 @@ ParallelScheduler::runDirect(Tick limit)
     // events — the same boundary the mailbox merge would have imposed.
     // runWindowed() drives all of that inline at one compare per event.
     tlsShard = 0;
+    obs::Tracer::bindThread(0);
     return parts_[0]->eq.runWindowed(limit, window_);
+}
+
+obs::EngineProfile
+ParallelScheduler::profile() const
+{
+    obs::EngineProfile prof;
+    if (directDispatch()) {
+        // The fast path's round clock lives inside the queue.
+        prof.rounds = parts_[0]->eq.windowedRounds();
+        prof.windowTicks = parts_[0]->eq.windowedTicksSum();
+    } else {
+        prof.rounds = rounds_;
+        prof.windowTicks = windowTicksSum_;
+    }
+    prof.barrierParks = barrier_.parks();
+    for (const auto &p : parts_) {
+        prof.barrierWaitNs += p->barrierWaitNs;
+        prof.overflowMigrations += p->eq.overflowMigrations();
+        for (const auto &lane : p->out)
+            prof.spilledPosts += lane.spilled;
+    }
+    return prof;
 }
 
 Tick

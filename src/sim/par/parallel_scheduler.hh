@@ -54,12 +54,18 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/engine_profile.hh"
 #include "sim/par/sim_context.hh"
 #include "sim/par/spsc_ring.hh"
 #include "sim/par/window_barrier.hh"
 
 namespace ltp
 {
+
+namespace obs
+{
+class MetricsSampler;
+} // namespace obs
 
 /** The multi-shard SimContext (see file comment). */
 class ParallelScheduler final : public SimContext
@@ -110,6 +116,22 @@ class ParallelScheduler final : public SimContext
     /** True when posts dispatch straight into the owner queue (S == 1). */
     bool directDispatch() const { return parts_.size() == 1; }
 
+    /**
+     * Attach (or detach, nullptr) a metrics sampler. The staged engine
+     * samples from planWindow()'s serial completion phase — every shard
+     * parked at the barrier, merged statistics quiescent — so sampling
+     * perturbs nothing and quantizes to window boundaries. The sampler
+     * must outlive the run. (The S == 1 fast path has no barrier; the
+     * harness samples it through EventQueue::armTickWatcher instead.)
+     */
+    void setMetricsSampler(obs::MetricsSampler *sampler)
+    {
+        sampler_ = sampler;
+    }
+
+    /** Host-side execution profile of the run so far (all shards). */
+    obs::EngineProfile profile() const;
+
   private:
     /** One buffered cross-shard event. */
     struct PostItem
@@ -133,12 +155,18 @@ class ParallelScheduler final : public SimContext
     {
         SpscRing<PostItem, laneCapacity> ring;
         std::vector<PostItem> spill;
+        std::uint64_t spilled = 0; //!< lifetime spill count (profiling)
 
-        void
+        /** @return true when the item spilled past the ring. */
+        bool
         push(PostItem &&item)
         {
-            if (!spill.empty() || !ring.tryPush(std::move(item)))
+            if (!spill.empty() || !ring.tryPush(std::move(item))) {
                 spill.push_back(std::move(item));
+                ++spilled;
+                return true;
+            }
+            return false;
         }
     };
 
@@ -152,6 +180,9 @@ class ParallelScheduler final : public SimContext
         std::vector<PostItem> inbox;
         /** Earliest pending tick, published for window planning. */
         std::atomic<Tick> nextTick{tickNever};
+        /** Wall ns this shard's thread spent in barrier waits. Written
+         *  only by the owning thread; read after the run joins. */
+        std::uint64_t barrierWaitNs = 0;
     };
 
     void workerLoop(unsigned shard, Tick limit);
@@ -165,8 +196,15 @@ class ParallelScheduler final : public SimContext
     Tick window_;
 
     WindowBarrier barrier_;
+    std::atomic<Tick> windowStart_{0};
     std::atomic<Tick> windowEnd_{0};
     std::atomic<bool> stop_{false};
+
+    /** Round accounting; written only in planWindow()'s serial phase. */
+    std::uint64_t rounds_ = 0;
+    std::uint64_t windowTicksSum_ = 0;
+
+    obs::MetricsSampler *sampler_ = nullptr;
 
     std::mutex errorMu_;
     std::exception_ptr error_;

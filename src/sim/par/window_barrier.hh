@@ -59,9 +59,13 @@ class WindowBarrier
      * parties proceed. Release/acquire ordering on the generation word
      * makes every write before any arrive visible to every thread after
      * the corresponding return.
+     *
+     * @return true when this arrival exhausted its spin budget and
+     *         parked at least once (profiling/tracing signal; the last
+     *         arriver never waits, hence never parks).
      */
     template <typename F>
-    void
+    bool
     arriveAndWait(F &&completion)
     {
         std::uint32_t gen = generation_.load(std::memory_order_acquire);
@@ -82,9 +86,10 @@ class WindowBarrier
             generation_.fetch_add(1, std::memory_order_seq_cst);
             if (sleepers_.exchange(false, std::memory_order_seq_cst))
                 wakeAll();
-            return;
+            return false;
         }
         unsigned spins = 0;
+        bool parked = false;
         while (generation_.load(std::memory_order_acquire) == gen) {
             if (++spins < spinLimit_) {
 #if defined(__x86_64__) || defined(__i386__)
@@ -92,19 +97,34 @@ class WindowBarrier
 #endif
             } else {
                 park(gen);
+                parked = true;
             }
         }
+        return parked;
     }
 
     /** Arrive with no completion work. */
-    void arriveAndWait() { arriveAndWait([] {}); }
+    bool arriveAndWait() { return arriveAndWait([] {}); }
 
     unsigned parties() const { return parties_; }
+
+    /**
+     * Arrivals that exhausted the spin budget and futex-parked, summed
+     * over all parties — the engine profile's spin-vs-park signal
+     * (obs/engine_profile.hh). Relaxed: a profiling count, read after
+     * the run's final barrier.
+     */
+    std::uint64_t
+    parks() const
+    {
+        return parks_.load(std::memory_order_relaxed);
+    }
 
   private:
     void
     park(std::uint32_t gen)
     {
+        parks_.fetch_add(1, std::memory_order_relaxed);
 #if defined(__linux__)
         sleepers_.store(true, std::memory_order_seq_cst);
         // FUTEX_WAIT re-checks the word against gen atomically in the
@@ -136,6 +156,7 @@ class WindowBarrier
     std::atomic<std::uint32_t> generation_{0};
     /** Set by a parking waiter; cleared (and acted on) by the releaser. */
     std::atomic<bool> sleepers_{false};
+    std::atomic<std::uint64_t> parks_{0};
 
     static_assert(sizeof(std::atomic<std::uint32_t>) == 4,
                   "futex word must be 32 bits");

@@ -229,6 +229,36 @@ StatGroup::dump(std::ostream &os) const
     }
 }
 
+StatSnapshot
+StatSnapshot::delta(const StatSnapshot &older) const
+{
+    StatSnapshot d;
+    for (const auto &[name, value] : counters) {
+        auto it = older.counters.find(name);
+        d.counters[name] =
+            value - (it == older.counters.end() ? 0 : it->second);
+    }
+    for (const auto &[name, avg] : averages) {
+        auto it = older.averages.find(name);
+        AvgState base =
+            it == older.averages.end() ? AvgState{} : it->second;
+        d.averages[name] = AvgState{avg.sum - base.sum,
+                                    avg.count - base.count};
+    }
+    return d;
+}
+
+StatSnapshot
+StatGroup::snapshot() const
+{
+    StatSnapshot snap;
+    for (const auto &[name, c] : counters_)
+        snap.counters[name] = c.value();
+    for (const auto &[name, a] : averages_)
+        snap.averages[name] = StatSnapshot::AvgState{a.sum(), a.count()};
+    return snap;
+}
+
 void
 StatGroup::resetAll()
 {

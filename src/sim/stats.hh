@@ -100,6 +100,34 @@ class Histogram
 };
 
 /**
+ * A point-in-time capture of a StatGroup's scalar state: counter
+ * values plus average (sum, count) pairs. Two snapshots subtract to
+ * an interval delta — the basis of the time-series metrics sampler
+ * (obs/metrics.hh), which reads "what happened in the last N ticks"
+ * off a monotonically accumulating group. Histograms are deliberately
+ * not captured: copying every bucket per sample would make sampling
+ * cost scale with histogram shape, and the sampler only needs rates.
+ */
+struct StatSnapshot
+{
+    struct AvgState
+    {
+        double sum = 0.0;
+        std::uint64_t count = 0;
+    };
+
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, AvgState> averages;
+
+    /**
+     * This snapshot minus @p older (per name; names absent from
+     * @p older subtract zero, i.e. stats registered mid-interval
+     * report their full accumulation).
+     */
+    StatSnapshot delta(const StatSnapshot &older) const;
+};
+
+/**
  * A flat, named registry of statistics.
  *
  * Names are dotted paths ("dir.0.queueing"). Registration returns a
@@ -154,6 +182,9 @@ class StatGroup
 
     /** Reset every statistic to zero. */
     void resetAll();
+
+    /** Capture counter and average state (see StatSnapshot). */
+    StatSnapshot snapshot() const;
 
   private:
     std::map<std::string, Counter> counters_;

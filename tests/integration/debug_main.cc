@@ -5,6 +5,13 @@
 //
 // `threads` (or LTP_SIM_THREADS) selects the parallel engine's shard
 // count; the dump is bit-identical for every value.
+//
+// Observability (all observer-only — the dump does not change):
+//   LTP_TRACE=t.json            capture a Chrome/Perfetto trace
+//   LTP_TRACE_CATS=link,engine  restrict traced categories
+//   LTP_METRICS=m.jsonl         stream periodic StatGroup deltas
+//   LTP_METRICS_INTERVAL=5000   sampling period in ticks
+//   LTP_ENGINE_PROFILE=1        print the engine self-profile to stderr
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -60,6 +67,7 @@ main(int argc, char **argv)
             sp.simThreads = ltp::parseSimThreads(argv[8]);
         else if (const char *env = std::getenv("LTP_SIM_THREADS"))
             sp.simThreads = ltp::parseSimThreads(env);
+        sp.obs = ltp::obs::obsParamsFromEnv();
     } catch (const std::invalid_argument &e) {
         std::cerr << e.what() << "\n";
         return 2;
@@ -95,5 +103,18 @@ main(int argc, char **argv)
         }
     }
     sys.stats().dump(std::cout);
+    if (const char *prof = std::getenv("LTP_ENGINE_PROFILE");
+        prof && std::string(prof) == "1") {
+        // Host-side numbers — stderr, so stdout stays byte-comparable
+        // across shard counts.
+        const auto &ep = r.engineProfile;
+        std::cerr << "engineProfile: rounds=" << ep.rounds
+                  << " windowTicks=" << ep.windowTicks
+                  << " barrierParks=" << ep.barrierParks
+                  << " barrierWaitNs=" << ep.barrierWaitNs
+                  << " spilledPosts=" << ep.spilledPosts
+                  << " overflowMigrations=" << ep.overflowMigrations
+                  << "\n";
+    }
     return r.completed ? 0 : 1;
 }

@@ -319,5 +319,61 @@ TEST(StatGroup, MergeFromMatchesSingleGroupAccumulation)
     EXPECT_EQ(merged.findHistogram("hist")->totalSamples(), 3u);
 }
 
+TEST(Histogram, MergeFromEmptySourceIsIdentity)
+{
+    Histogram h(10.0, 4);
+    h.sample(5);
+    h.sample(1000);
+    Histogram empty(10.0, 4);
+    h.merge(empty);
+    EXPECT_EQ(h.totalSamples(), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+
+    // And merging into an empty histogram copies the source.
+    Histogram dst(10.0, 4);
+    dst.merge(h);
+    EXPECT_EQ(dst.totalSamples(), 2u);
+    EXPECT_EQ(dst.bucket(0), 1u);
+    EXPECT_EQ(dst.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(dst.mean(), h.mean());
+}
+
+TEST(Histogram, SingleSamplePercentile)
+{
+    // With one sample every percentile is that sample's bucket; the
+    // nearest-rank ceil must not index below the first occupied bucket.
+    Histogram h(10.0, 10);
+    h.sample(25); // bucket 2 -> upper edge 30
+    EXPECT_DOUBLE_EQ(h.percentile(0.01), 30.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 30.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 30.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 30.0);
+}
+
+TEST(StatSnapshot, DeltaRoundTrip)
+{
+    StatGroup g;
+    g.counter("c").inc(10);
+    g.average("a").sample(4.0);
+    StatSnapshot before = g.snapshot();
+
+    g.counter("c").inc(7);
+    g.counter("fresh").inc(3); // registered mid-interval
+    g.average("a").sample(6.0);
+    StatSnapshot after = g.snapshot();
+
+    StatSnapshot d = after.delta(before);
+    EXPECT_EQ(d.counters.at("c"), 7u);
+    EXPECT_EQ(d.counters.at("fresh"), 3u); // absent-in-older = full value
+    EXPECT_DOUBLE_EQ(d.averages.at("a").sum, 6.0);
+    EXPECT_EQ(d.averages.at("a").count, 1u);
+
+    // A quiet interval deltas to all zeroes, not to missing names.
+    StatSnapshot quiet = g.snapshot().delta(after);
+    EXPECT_EQ(quiet.counters.at("c"), 0u);
+    EXPECT_EQ(quiet.averages.at("a").count, 0u);
+}
+
 } // namespace
 } // namespace ltp

@@ -32,6 +32,7 @@ job summary so a PR's perf movement is visible without opening logs.
 """
 
 import argparse
+import difflib
 import json
 import math
 import os
@@ -41,6 +42,11 @@ import sys
 # "mesh64-t4" -> exempt; "mesh64-t1" and plain configs -> gated.
 MULTI_THREAD_CONFIG = re.compile(r"-t(\d+)$")
 
+# Every run row must carry these to be comparable. Extra keys (the
+# engine self-profile bench_perf stamps, "oversubscribed", ...) are
+# fine and ignored.
+REQUIRED_KEYS = ("kernel", "config", "completed", "eventsPerSec")
+
 
 def gated(config):
     m = MULTI_THREAD_CONFIG.search(config)
@@ -48,11 +54,57 @@ def gated(config):
 
 
 def load_runs(path):
+    """Parse one BENCH_core.json into {(kernel, config): row}.
+
+    Exits with a per-row diagnostic — which row, which keys are missing,
+    which keys it does have — rather than letting a malformed or
+    hand-edited file surface as a bare KeyError later.
+    """
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != "bench_core/v1":
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {(r["kernel"], r["config"]): r for r in doc["runs"]}
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        sys.exit(f"{path}: no \"runs\" array")
+
+    problems = []
+    cells = {}
+    for i, r in enumerate(runs):
+        if not isinstance(r, dict):
+            problems.append(f"runs[{i}]: not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in r]
+        if missing:
+            label = "/".join(str(r.get(k, "?")) for k in ("kernel",
+                                                          "config"))
+            problems.append(
+                f"runs[{i}] ({label}): missing key(s) "
+                f"{', '.join(missing)} — has {', '.join(sorted(r))}")
+            continue
+        key = (r["kernel"], r["config"])
+        if key in cells:
+            problems.append(
+                f"runs[{i}]: duplicate cell {key[0]}/{key[1]}")
+            continue
+        cells[key] = r
+    if problems:
+        print(f"{path}: {len(problems)} malformed run row(s):",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        sys.exit(1)
+    return cells
+
+
+def nearest_cell(key, candidates):
+    """Best fuzzy match for a missing cell — catches renames."""
+    if not candidates:
+        return None
+    names = {f"{k}/{c}": (k, c) for k, c in candidates}
+    close = difflib.get_close_matches(f"{key[0]}/{key[1]}", names,
+                                      n=1, cutoff=0.6)
+    return names[close[0]] if close else None
 
 
 def write_github_summary(rows, geomean, limit, failures):
@@ -92,8 +144,13 @@ def main():
 
     failures = []
     for key in sorted(set(fresh) - set(base)):
-        failures.append(f"{key[0]}/{key[1]}: present only in the fresh "
-                        "run — refresh the committed baseline")
+        msg = (f"{key[0]}/{key[1]}: present only in the fresh run — "
+               "refresh the committed baseline")
+        near = nearest_cell(key, set(base) - set(fresh))
+        if near:
+            msg += (f" (did the committed cell {near[0]}/{near[1]} "
+                    "get renamed?)")
+        failures.append(msg)
 
     ratios = []
     rows = []  # (kernel, config, base ev/s, fresh ev/s, note)
@@ -104,7 +161,11 @@ def main():
         b = base[key]
         f = fresh.get(key)
         if f is None:
-            failures.append(f"{kernel}/{config}: missing from fresh run")
+            msg = f"{kernel}/{config}: missing from fresh run"
+            near = nearest_cell(key, set(fresh) - set(base))
+            if near:
+                msg += f" (closest fresh cell: {near[0]}/{near[1]})"
+            failures.append(msg)
             continue
         if not f.get("completed", False):
             failures.append(f"{kernel}/{config}: did not complete")
