@@ -40,8 +40,8 @@ runWith(const std::string &kernel, PredictorKind kind, PredictorMode mode,
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     bench::printSystemBanner();
 
@@ -134,4 +134,10 @@ main()
                 "consumer misses into local hits on stable "
                 "producer-consumer patterns\n");
     return 0;
+}
+
+int
+main()
+{
+    return ltp::bench::guardedMain("bench_ablation", run);
 }

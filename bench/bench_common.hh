@@ -36,6 +36,24 @@ pct(double f)
     return 100.0 * f;
 }
 
+/**
+ * Top-level harness for a bench main: run @p body, and turn any escaping
+ * std::exception (a violated LTP_CHECK invariant, a bad LTP_FAULT spec,
+ * an unknown kernel) into one structured line on stderr and exit code 1
+ * instead of an unhandled-exception abort.
+ */
+template <typename Fn>
+inline int
+guardedMain(const char *name, Fn &&body)
+{
+    try {
+        return body();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: fatal: %s\n", name, e.what());
+        return 1;
+    }
+}
+
 } // namespace ltp::bench
 
 #endif // LTP_BENCH_BENCH_COMMON_HH

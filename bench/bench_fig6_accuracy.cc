@@ -22,8 +22,8 @@
 
 using namespace ltp;
 
-int
-main()
+static int
+run()
 {
     bench::printSystemBanner();
     std::printf("# Benchmarks and scaled inputs (paper Table 2)\n");
@@ -77,4 +77,10 @@ main()
     std::printf("\n# Paper averages: DSI 47%% (14%% mispred), "
                 "Last-PC 41%% (2%%), LTP 79%% (3%%)\n");
     return 0;
+}
+
+int
+main()
+{
+    return ltp::bench::guardedMain("bench_fig6_accuracy", run);
 }

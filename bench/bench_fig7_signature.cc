@@ -18,8 +18,8 @@
 
 using namespace ltp;
 
-int
-main()
+static int
+run()
 {
     bench::printSystemBanner();
     const std::vector<unsigned> sizes = {30, 13, 11, 6};
@@ -48,4 +48,10 @@ main()
                 "drop accuracy for large-footprint and counting-trace "
                 "apps\n");
     return 0;
+}
+
+int
+main()
+{
+    return ltp::bench::guardedMain("bench_fig7_signature", run);
 }

@@ -16,8 +16,8 @@
 
 using namespace ltp;
 
-int
-main()
+static int
+run()
 {
     bench::printSystemBanner();
     std::printf("\n== Figure 8: per-block (13-bit) vs global (30-bit) "
@@ -54,4 +54,10 @@ main()
     std::printf("\n# Paper averages: per-block 79%%, global 58%% (subtrace "
                 "aliasing across blocks)\n");
     return 0;
+}
+
+int
+main()
+{
+    return ltp::bench::guardedMain("bench_fig8_global", run);
 }

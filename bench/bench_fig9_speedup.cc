@@ -18,8 +18,8 @@
 
 using namespace ltp;
 
-int
-main()
+static int
+run()
 {
     bench::printSystemBanner();
     std::printf("\n== Figure 9: speedup over the base DSM ==\n");
@@ -45,4 +45,10 @@ main()
     std::printf("\n# Paper: DSI avg +3%% (slows 4 of 9 apps), "
                 "LTP avg +11%% (best +30%%, worst -<1%%)\n");
     return 0;
+}
+
+int
+main()
+{
+    return ltp::bench::guardedMain("bench_fig9_speedup", run);
 }

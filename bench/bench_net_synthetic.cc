@@ -52,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "net/topo/routed_network.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -265,8 +266,8 @@ usage(const char *msg)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Options opt;
     std::vector<std::string> items;
@@ -395,4 +396,11 @@ main(int argc, char **argv)
                     row.lowLoadP50, row.lowLoadP99);
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return ltp::bench::guardedMain("bench_net_synthetic",
+                                   [&] { return run(argc, argv); });
 }

@@ -124,8 +124,8 @@ sweepKernel(const std::string &kernel)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     std::vector<std::string> kernels;
     for (int i = 1; i < argc; ++i) {
@@ -165,4 +165,11 @@ main(int argc, char **argv)
     for (const auto &kernel : kernels)
         sweepKernel(kernel);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return ltp::bench::guardedMain("bench_net_topology",
+                                   [&] { return run(argc, argv); });
 }

@@ -185,8 +185,8 @@ writeJson(const std::string &path, const std::vector<Sample> &samples,
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     std::string out = "BENCH_core.json";
     double scale = 1.0;
@@ -275,4 +275,11 @@ main(int argc, char **argv)
 
     writeJson(out, samples, scale);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return ltp::bench::guardedMain("bench_perf",
+                                   [&] { return run(argc, argv); });
 }

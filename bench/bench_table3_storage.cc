@@ -18,8 +18,8 @@
 
 using namespace ltp;
 
-int
-main()
+static int
+run()
 {
     bench::printSystemBanner();
     std::printf("\n== Table 3: signature entries and overhead per "
@@ -60,4 +60,10 @@ main()
     std::printf("\n# Paper averages: per-block 2.8 ent / ~7 B; global 0.8 "
                 "ent / ~6 B\n");
     return 0;
+}
+
+int
+main()
+{
+    return ltp::bench::guardedMain("bench_table3_storage", run);
 }

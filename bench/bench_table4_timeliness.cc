@@ -35,8 +35,8 @@ timingRun(const std::string &kernel, PredictorKind kind)
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     bench::printSystemBanner();
     std::printf("\n== Table 4: directory queueing / service (cycles) and "
@@ -63,4 +63,10 @@ main()
                 "(avg timeliness 79%%); LTP queueing ~= base, timeliness "
                 ">90%% (except raytrace)\n");
     return 0;
+}
+
+int
+main()
+{
+    return ltp::bench::guardedMain("bench_table4_timeliness", run);
 }

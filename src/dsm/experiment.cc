@@ -47,6 +47,7 @@ runExperiment(const ExperimentSpec &spec)
         sp.net.routing = spec.routing;
     }
     sp.obs = spec.obs ? *spec.obs : obs::obsParamsFromEnv();
+    sp.guard = spec.guard ? *spec.guard : guard::guardParamsFromEnv();
 
     KernelConfig cfg =
         spec.config ? *spec.config : defaultConfig(spec.kernel);

@@ -55,6 +55,17 @@ struct ExperimentSpec
      * environment. Observer-only either way: results are identical.
      */
     std::optional<obs::ObsParams> obs;
+    /**
+     * Harness guards (watchdog, invariant checkers, fault injection,
+     * flight recorder — src/sim/guard/). When unset, the LTP_CHECK /
+     * LTP_FAULT / LTP_WATCHDOG_MS / LTP_BARRIER_STALL_MS /
+     * LTP_MAX_WALL_MS / LTP_MAX_EVENTS / LTP_MAX_RSS_MB /
+     * LTP_FLIGHT_RECORDER environment variables apply
+     * (guard::guardParamsFromEnv); setting a value — including a
+     * default GuardParams, i.e. everything off — pins it and ignores
+     * the environment.
+     */
+    std::optional<guard::GuardParams> guard;
 };
 
 /** Run one experiment on a fresh system. */

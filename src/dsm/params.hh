@@ -14,6 +14,7 @@
 #include "predictor/ltp_per_block.hh"
 #include "proto/cache_controller.hh"
 #include "proto/dir_controller.hh"
+#include "sim/guard/guard_params.hh"
 #include "sim/types.hh"
 
 namespace ltp
@@ -80,6 +81,16 @@ struct SystemParams
      * byte-identical whatever is enabled here; defaults are all-off.
      */
     obs::ObsParams obs;
+
+    /**
+     * Harness guards: progress watchdog, protocol invariant checkers,
+     * deterministic fault injection, crash flight recorder
+     * (src/sim/guard/). Watchdog/checkers/recorder are observer-only —
+     * results and statistics are byte-identical whatever is armed here
+     * (fault injection deliberately perturbs virtual time, but stays
+     * deterministic and shard-count invariant); defaults are all-off.
+     */
+    guard::GuardParams guard;
 
     /** Convenience factories for the standard configurations. */
     static SystemParams base();

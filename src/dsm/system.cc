@@ -1,14 +1,20 @@
 #include "dsm/system.hh"
 
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 
+#include "net/topo/routed_network.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "predictor/dsi.hh"
 #include "predictor/last_pc.hh"
 #include "predictor/ltp_global.hh"
 #include "predictor/ltp_per_block.hh"
+#include "sim/guard/checkers.hh"
+#include "sim/guard/fault.hh"
+#include "sim/guard/flight_recorder.hh"
+#include "sim/guard/watchdog.hh"
 #include "sim/par/parallel_scheduler.hh"
 
 namespace ltp
@@ -204,12 +210,73 @@ DsmSystem::run(KernelBase &kernel, const KernelConfig &cfg)
         node.task.start(&node.onDone);
     }
 
+    auto *par = dynamic_cast<ParallelScheduler *>(sim_.get());
+
+    // Guard bring-up (src/sim/guard/): the fault injector and the
+    // invariant checkers are process-wide singletons (like the tracer),
+    // armed for exactly this run and disarmed on every exit path so a
+    // throwing checker cannot leak armed state into the next run.
+    const guard::GuardParams &gp = params_.guard;
+    struct GuardDisarm
+    {
+        bool checks = false;
+        bool faults = false;
+        bool recorder = false;
+        ~GuardDisarm()
+        {
+            if (checks)
+                guard::Checks::instance().disarm();
+            if (faults)
+                guard::Faults::instance().disarm();
+            if (recorder)
+                guard::FlightRecorder::instance().disarm();
+        }
+    } disarm;
+    if (gp.faultsEnabled()) {
+        guard::FaultPlan plan = guard::parseFaultSpec(gp.faultSpec);
+        if (plan.on(guard::FaultKind::BarrierWedge) &&
+            (!par || par->directDispatch())) {
+            throw std::invalid_argument(
+                "LTP_FAULT=barrier-wedge needs the staged parallel engine "
+                "(simThreads >= 2); this run has no window barrier");
+        }
+        guard::Faults::instance().arm(plan);
+        disarm.faults = true;
+    }
+    if (gp.checksEnabled()) {
+        // The pairwise-FIFO check reads netSeq, which only the routed
+        // network stamps (the p2p model delivers in order by design).
+        bool pair_fifo =
+            dynamic_cast<RoutedNetwork *>(net_.get()) != nullptr;
+        guard::Checks::instance().arm(gp.checkMask, params_.numNodes,
+                                      pair_fifo);
+        disarm.checks = true;
+    }
+    if (gp.recorderEnabled()) {
+        guard::RecorderContext rc;
+        rc.tick = [this] { return sim_->tickApprox(); };
+        rc.events = [this] { return sim_->executedApprox(); };
+        rc.shards = plan_.shards;
+        if (par && !par->directDispatch()) {
+            rc.barrierGeneration = [par] {
+                return par->barrier().generationValue();
+            };
+            rc.barrierArrived = [par] {
+                return par->barrier().arrivedCount();
+            };
+        }
+        if (par)
+            rc.profile = [par] { return par->profile(); };
+        guard::FlightRecorder::instance().arm(gp.flightRecorderFile,
+                                              std::move(rc));
+        disarm.recorder = true;
+    }
+
     // Observability bring-up, all observer-only: the tracer buffers
     // compact records per shard (flushed to Chrome JSON after the run)
     // and the sampler reads statistics at quiescent points. Neither
     // schedules events or touches simulated state, so results are
     // byte-identical with or without them.
-    auto *par = dynamic_cast<ParallelScheduler *>(sim_.get());
     if (params_.obs.traceEnabled()) {
         obs::TraceConfig tc;
         tc.path = params_.obs.traceFile;
@@ -238,7 +305,66 @@ DsmSystem::run(KernelBase &kernel, const KernelConfig &cfg)
         }
     }
 
-    sim_->runUntil(params_.maxTicks);
+    {
+        // The watchdog scope brackets exactly the engine run: its
+        // destructor joins the monitor thread before any result is
+        // collected, so nothing below races with a late detector.
+        guard::WatchdogHooks hooks;
+        hooks.tick = [this] { return sim_->tickApprox(); };
+        hooks.events = [this] { return sim_->executedApprox(); };
+        if (par && !par->directDispatch()) {
+            hooks.barrierGeneration = [par] {
+                return par->barrier().generationValue();
+            };
+            hooks.barrierArrived = [par] {
+                return par->barrier().arrivedCount();
+            };
+        }
+        hooks.abort = [this](const std::string &reason) {
+            sim_->requestAbort(reason);
+        };
+        guard::Watchdog watchdog(gp, std::move(hooks));
+
+        try {
+            sim_->runUntil(params_.maxTicks);
+        } catch (const std::exception &e) {
+            // A checker (or anything else) threw mid-run: leave a
+            // flight record behind before the exception unwinds the
+            // harness.
+            guard::FlightRecorder::instance().dumpNow(
+                std::string("exception: ") + e.what());
+            throw;
+        }
+    }
+
+    unsigned finished = finished_.load(std::memory_order_relaxed);
+    bool completed = finished == params_.numNodes;
+    std::string abortReason;
+    if (!completed) {
+        abortReason = sim_->abortReason();
+        if (abortReason.empty()) {
+            if (sim_->now() >= params_.maxTicks) {
+                abortReason = "maxTicks exceeded: tick " +
+                              std::to_string(sim_->now()) +
+                              " reached the " +
+                              std::to_string(params_.maxTicks) +
+                              "-cycle budget";
+            } else {
+                abortReason =
+                    "idle deadlock: all event queues drained at tick " +
+                    std::to_string(sim_->now()) + " with " +
+                    std::to_string(params_.numNodes - finished) + " of " +
+                    std::to_string(params_.numNodes) +
+                    " threads unfinished";
+            }
+        }
+        // The clean-path flight record: the engine joined its workers
+        // when runUntil() returned, so this dump is complete and
+        // race-free. It must land before Tracer::stop() below drains
+        // the trace buffers the dump's traceTail reads.
+        guard::FlightRecorder::instance().dumpNow("aborted: " +
+                                                  abortReason);
+    }
 
     if (sampler_) {
         sampler_->finish(sim_->now(), sim_->stats(),
@@ -251,9 +377,121 @@ DsmSystem::run(KernelBase &kernel, const KernelConfig &cfg)
     if (params_.obs.traceEnabled())
         obs::Tracer::instance().stop();
 
-    bool completed =
-        finished_.load(std::memory_order_relaxed) == params_.numNodes;
-    return collect(completed);
+    RunResult r = collect(completed);
+    if (completed) {
+        // Quiesce invariants only make sense on a drained machine; an
+        // aborted run legitimately has messages in flight and busy
+        // directory entries.
+        if (disarm.checks)
+            guardQuiesceChecks();
+    } else {
+        r.outcome = RunOutcome::Aborted;
+        r.abortReason = std::move(abortReason);
+    }
+    return r;
+}
+
+void
+DsmSystem::guardQuiesceChecks() const
+{
+    if (guard::Checks::on(obs::Cat::Message))
+        guard::Checks::instance().checkMessageConservation();
+
+    if (guard::Checks::on(obs::Cat::Link)) {
+        if (auto *rn = dynamic_cast<RoutedNetwork *>(net_.get()))
+            rn->guardCheckQuiesce();
+    }
+
+    // Directory -> cache: every sharer bit maps to a Shared copy, every
+    // owner to an Exclusive copy, nothing still busy. Valid at quiesce
+    // because evictions and self-invalidations all notify home
+    // (EvictS/EvictX, SelfInvS/SelfInvX).
+    if (guard::Checks::on(obs::Cat::Directory)) {
+        for (NodeId h = 0; h < params_.numNodes; ++h) {
+            nodes_[h]->dirCtrl->directory().forEach([&](Addr blk,
+                                                        const DirEntry &e) {
+                auto fail = [&](const std::string &what) {
+                    char addr[32];
+                    std::snprintf(addr, sizeof(addr), "0x%llx",
+                                  (unsigned long long)blk);
+                    throw guard::CheckFailure(
+                        "directory<->cache: " + what + " (home " +
+                        std::to_string(h) + ", block " + addr +
+                        ", dir state " + dirStateName(e.state) + ")");
+                };
+                if (e.busy)
+                    fail("entry still busy at quiesce");
+                switch (e.state) {
+                  case DirState::Idle:
+                    if (e.sharers != 0)
+                        fail("Idle entry with sharer bits set");
+                    break;
+                  case DirState::Shared:
+                    for (NodeId n = 0; n < params_.numNodes; ++n) {
+                        if (!e.isSharer(n))
+                            continue;
+                        if (nodes_[n]->cacheCtrl->cache().state(blk) !=
+                            CacheState::Shared) {
+                            fail("sharer bit for node " +
+                                 std::to_string(n) +
+                                 " but its cached copy is not Shared");
+                        }
+                    }
+                    break;
+                  case DirState::Exclusive:
+                    if (e.owner == invalidNode ||
+                        e.owner >= params_.numNodes)
+                        fail("Exclusive entry with no valid owner");
+                    else if (nodes_[e.owner]->cacheCtrl->cache().state(
+                                 blk) != CacheState::Exclusive) {
+                        fail("owner node " + std::to_string(e.owner) +
+                             " does not hold the block Exclusive");
+                    }
+                    break;
+                }
+            });
+        }
+    }
+
+    // Cache -> directory: every resident line is backed by the home's
+    // bookkeeping (the converse direction catches a directory that
+    // dropped a copy it should still track).
+    if (guard::Checks::on(obs::Cat::Cache)) {
+        for (NodeId n = 0; n < params_.numNodes; ++n) {
+            nodes_[n]->cacheCtrl->cache().forEachResident(
+                [&](Addr blk, const CacheLine &line) {
+                    NodeId h = homes_.home(blk);
+                    const DirEntry *e =
+                        nodes_[h]->dirCtrl->directory().find(blk);
+                    auto fail = [&](const std::string &what) {
+                        char addr[32];
+                        std::snprintf(addr, sizeof(addr), "0x%llx",
+                                      (unsigned long long)blk);
+                        throw guard::CheckFailure(
+                            "cache<->directory: " + what + " (node " +
+                            std::to_string(n) + ", block " + addr +
+                            ", home " + std::to_string(h) + ")");
+                    };
+                    if (!e)
+                        fail("resident line with no directory entry");
+                    if (line.state == CacheState::Shared) {
+                        if (e->state != DirState::Shared)
+                            fail("Shared line but dir state is " +
+                                 std::string(dirStateName(e->state)));
+                        else if (!e->isSharer(n))
+                            fail("Shared line but home's sharer bit "
+                                 "is clear");
+                    } else if (line.state == CacheState::Exclusive) {
+                        if (e->state != DirState::Exclusive)
+                            fail("Exclusive line but dir state is " +
+                                 std::string(dirStateName(e->state)));
+                        else if (e->owner != n)
+                            fail("Exclusive line but home's owner is " +
+                                 std::to_string(e->owner));
+                    }
+                });
+        }
+    }
 }
 
 RunResult

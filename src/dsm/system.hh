@@ -17,8 +17,10 @@
 #define LTP_DSM_SYSTEM_HH
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dsm/params.hh"
@@ -45,10 +47,26 @@ namespace obs
 class MetricsSampler;
 } // namespace obs
 
+/** How a run ended (RunResult::outcome). */
+enum class RunOutcome : std::uint8_t
+{
+    Completed, //!< every thread finished
+    Aborted,   //!< a guard fired or the tick budget ran out (abortReason)
+};
+
 /** Aggregate results of one kernel execution. */
 struct RunResult
 {
     bool completed = false; //!< all threads finished before maxTicks
+    /** Completed, or Aborted with the structured abortReason. */
+    RunOutcome outcome = RunOutcome::Completed;
+    /**
+     * Why the run aborted: the watchdog detector's structured reason
+     * ("no-progress: ...", "barrier stall: ...", "...budget exceeded"),
+     * or the harness's own ("maxTicks exceeded...", "idle deadlock...").
+     * Empty when outcome == Completed.
+     */
+    std::string abortReason;
     Tick cycles = 0;
     std::uint64_t memOps = 0;
     /** Discrete events executed by the simulation core (perf tracking). */
@@ -166,6 +184,8 @@ class DsmSystem
   private:
     std::unique_ptr<InvalidationPredictor> makePredictor() const;
     RunResult collect(bool completed) const;
+    /** LTP_CHECK quiesce invariants (completed runs only). */
+    void guardQuiesceChecks() const;
 
     SystemParams params_;
     ShardPlan plan_;

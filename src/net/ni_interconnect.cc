@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/trace.hh"
+#include "sim/guard/checkers.hh"
 
 namespace ltp
 {
@@ -64,6 +65,8 @@ NiInterconnect::injectLocalOrCount(Message &msg)
     msgsSent_[shard]->inc();
     if (carriesData(msg.type))
         dataMsgs_[shard]->inc();
+    if (guard::Checks::on(obs::Cat::Message))
+        guard::Checks::instance().countInject();
 
     if (msg.src != msg.dst)
         return false;
@@ -124,6 +127,9 @@ NiInterconnect::deliver(const Message &msg)
     unsigned shard = ctx_->shardOf(msg.dst);
     endToEndLatency_[shard]->sample(double(lat));
     latencyHist_[shard]->sample(double(lat));
+    if (guard::Checks::on(obs::Cat::Message))
+        guard::Checks::instance().countDeliver(msg.src, msg.dst,
+                                               msg.netSeq, q(msg.dst).now());
     sinks_[msg.dst](msg);
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "obs/trace.hh"
+#include "sim/guard/checkers.hh"
+#include "sim/guard/fault.hh"
 
 namespace ltp
 {
@@ -282,6 +284,14 @@ RoutedNetwork::grant(std::size_t l, Entry e)
     }
 
     Tick ser = serializationTicks(e.msg);
+    if (guard::Faults::on(guard::FaultKind::LinkStall)) {
+        // Deterministic jitter: a pure hash of (seed, link, grant
+        // index). The grant sequence on a link is itself deterministic
+        // and shard-count invariant, so fault-injected runs stay
+        // bit-reproducible at every simThreads value.
+        ser += guard::Faults::instance().linkStallTicks(l,
+                                                        link.faultGrants++);
+    }
     link.msgs->inc();
     link.busyCycles->inc(ser);
     hops_[ctx().shardOf(link.from)]->inc();
@@ -329,6 +339,17 @@ RoutedNetwork::scheduleCreditReturn(std::size_t l, std::uint8_t vc)
         ++link.credits[vc];
         assert(link.credits[vc] <= params_.vcDepth &&
                "credit conservation violated");
+        if (guard::Checks::on(obs::Cat::Link) &&
+            link.credits[vc] > params_.vcDepth) {
+            // The assert's always-on twin: catches credit over-return
+            // in Release builds the moment it happens.
+            throw guard::CheckFailure(
+                "credit over-return on link " + std::to_string(link.from) +
+                "->" + std::to_string(link.to) + " vc " +
+                std::to_string(vc) + ": " +
+                std::to_string(link.credits[vc]) + " credits > vcDepth " +
+                std::to_string(params_.vcDepth));
+        }
         if (linkIdle(link))
             drainLink(l);
     });
@@ -376,6 +397,49 @@ RoutedNetwork::deliver(const Message &msg)
     hopsPerMsg_[ctx().shardOf(msg.dst)]->sample(
         double(geom_.hopCount(msg.src, msg.dst)));
     NiInterconnect::deliver(msg);
+}
+
+void
+RoutedNetwork::guardCheckQuiesce() const
+{
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+        const Link &link = links_[l];
+        std::string where = "link " + std::to_string(link.from) + "->" +
+                            std::to_string(link.to);
+        if (!link.q.empty()) {
+            throw guard::CheckFailure(
+                where + " still holds " + std::to_string(link.q.size()) +
+                " waiting message(s) at quiesce (first: " +
+                msgTypeName(link.q.front().msg.type) + " " +
+                std::to_string(link.q.front().msg.src) + "->" +
+                std::to_string(link.q.front().msg.dst) + ")");
+        }
+        if (!bounded())
+            continue;
+        for (unsigned vc = 0; vc < numVcs_; ++vc) {
+            if (link.credits[vc] != params_.vcDepth) {
+                throw guard::CheckFailure(
+                    "credit conservation violated at quiesce: " + where +
+                    " vc " + std::to_string(vc) + " holds " +
+                    std::to_string(link.credits[vc]) + "/" +
+                    std::to_string(params_.vcDepth) + " credits");
+            }
+        }
+    }
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+        const PairState &ps = pairs_[p];
+        if (!ps.pending.empty()) {
+            NodeId src = NodeId(p / numNodes());
+            NodeId dst = NodeId(p % numNodes());
+            throw guard::CheckFailure(
+                "reorder buffer for pair " + std::to_string(src) + "->" +
+                std::to_string(dst) + " still parks " +
+                std::to_string(ps.pending.size()) +
+                " message(s) at quiesce (next expected netSeq " +
+                std::to_string(ps.nextSeq) + ", first parked " +
+                std::to_string(ps.pending.begin()->first) + ")");
+        }
+    }
 }
 
 } // namespace ltp

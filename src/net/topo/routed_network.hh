@@ -105,6 +105,16 @@ class RoutedNetwork : public NiInterconnect
                params_.linkBandwidth;
     }
 
+    /**
+     * LTP_CHECK=link quiesce invariant: with the run complete, every
+     * link must be drained (no waiting messages, no parked reorder
+     * entries) and every credit returned (credits == vcDepth on every
+     * (link, VC) when bounded). Throws guard::CheckFailure naming the
+     * offending link otherwise. Call only after runUntil() returned
+     * with the simulation quiescent.
+     */
+    void guardCheckQuiesce() const;
+
   private:
     RoutedNetwork(std::unique_ptr<SimContext> owned, NodeId num_nodes,
                   NetworkParams params);
@@ -143,6 +153,8 @@ class RoutedNetwork : public NiInterconnect
         std::vector<unsigned> credits;
         Counter *msgs = nullptr;
         Counter *busyCycles = nullptr;
+        /** Grants so far: the link-stall fault's per-site counter. */
+        std::uint64_t faultGrants = 0;
     };
 
     /** Per-(src, dst) ingress reordering state. */

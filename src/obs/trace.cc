@@ -209,5 +209,34 @@ Tracer::bufferedRecords() const
     return count;
 }
 
+std::vector<Tracer::Rec>
+Tracer::tailRecords(std::size_t max_records) const
+{
+    std::vector<Rec> recs;
+    for (const auto &buf : buffers_) {
+        // Per-shard emit order is ring first, then spill (the lane
+        // idiom keeps that FIFO); walk each source from its newest end,
+        // at most max_records per shard — the global sort below trims
+        // the merged set.
+        std::size_t want = max_records;
+        const std::vector<Rec> &spill = buf->spill;
+        for (std::size_t i = spill.size(); i > 0 && want; --i, --want)
+            recs.push_back(spill[i - 1]);
+        // The ring is never popped while a run is active, so its live
+        // sequence range is exactly [0, rawTail) and rawTail never
+        // exceeds the ring capacity.
+        for (std::size_t seq = buf->ring.rawTail(); seq > 0 && want;
+             --seq, --want) {
+            if (const Rec *rec = buf->ring.rawSlot(seq - 1))
+                recs.push_back(*rec);
+        }
+    }
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const Rec &a, const Rec &b) { return a.ts < b.ts; });
+    if (recs.size() > max_records)
+        recs.erase(recs.begin(), recs.end() - std::ptrdiff_t(max_records));
+    return recs;
+}
+
 } // namespace obs
 } // namespace ltp

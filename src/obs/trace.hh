@@ -180,7 +180,6 @@ class Tracer
 
     bool active() const { return !buffers_.empty(); }
 
-  private:
     /**
      * One buffered trace record. `name` must point at storage that
      * outlives the run (string literals / msgTypeName()'s statics).
@@ -198,6 +197,18 @@ class Tracer
         bool span = false;
     };
 
+    /**
+     * The newest (by timestamp) @p max_records buffered records without
+     * consuming them, oldest first — the crash flight recorder's view
+     * of "what just happened". Race-free after the run's workers have
+     * joined (the clean abort path); from a crash signal handler it is
+     * best-effort by contract: the rings are read non-destructively via
+     * their raw slots and a record being written concurrently may come
+     * back torn.
+     */
+    std::vector<Rec> tailRecords(std::size_t max_records) const;
+
+  private:
     static constexpr std::size_t ringCapacity = 4096;
 
     /**

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/trace.hh"
+#include "sim/guard/fault.hh"
 
 namespace ltp
 {
@@ -93,10 +94,18 @@ EventQueue::scheduleKeyed(Tick when, std::uint64_t key, Callback cb)
     slots_[slot].cb = std::move(cb);
 
     Entry e{id, key};
-    if (when - now_ < window)
+    bool force_overflow =
+        guard::Faults::on(guard::FaultKind::CalendarOverflow) &&
+        guard::Faults::instance().calendarOverflowHit(nextGen_);
+    if (when - now_ < window && !force_overflow) {
         pushBucket(when, e);
-    else
+    } else {
+        // Far-future event — or the cal-overflow fault pretending it
+        // is one. Either way the entry waits in the heap and migrate()
+        // moves it into the ring before it can fire, so the forced
+        // detour is invisible to results.
         overflow_.push(OverflowEntry{when, e});
+    }
     ++liveEvents_;
     return id;
 }
@@ -254,11 +263,15 @@ Tick
 EventQueue::runUntil(Tick limit)
 {
     std::int64_t slot;
-    while ((slot = popNextLive(limit)) >= 0) {
+    while (!abort_.load(std::memory_order_relaxed) &&
+           (slot = popNextLive(limit)) >= 0) {
         executeSlot(std::uint32_t(slot));
+        if ((executed_ & (beatPeriod - 1)) == 0)
+            publishProgress();
         if (now_ >= watchAt_)
             fireTickWatcher();
     }
+    publishProgress();
     return now_;
 }
 
@@ -266,7 +279,8 @@ Tick
 EventQueue::runWindowed(Tick limit, Tick window)
 {
     std::int64_t slot;
-    while ((slot = popNextLive(limit)) >= 0) {
+    while (!abort_.load(std::memory_order_relaxed) &&
+           (slot = popNextLive(limit)) >= 0) {
         Tick when = slots_[std::uint32_t(slot)].when;
         if (when > windowEnd_ || !windowOpen_) {
             // First event past the round (or the very first event, even
@@ -279,14 +293,18 @@ EventQueue::runWindowed(Tick limit, Tick window)
             beginRound();
             ++windowedRounds_;
             windowedTicksSum_ += windowEnd_ - when + 1;
+            publishProgress();
             if (obs::Tracer::on(obs::Cat::Engine))
                 obs::Tracer::engineSpan("window", when, windowEnd_ + 1,
                                         windowEnd_ - when + 1);
         }
         executeSlot(std::uint32_t(slot));
+        if ((executed_ & (beatPeriod - 1)) == 0)
+            publishProgress();
         if (now_ >= watchAt_)
             fireTickWatcher();
     }
+    publishProgress();
     return now_;
 }
 

@@ -54,6 +54,7 @@
 #ifndef LTP_SIM_EVENT_QUEUE_HH
 #define LTP_SIM_EVENT_QUEUE_HH
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -228,6 +229,49 @@ class EventQueue
         watchAt_ = tickNever;
     }
 
+    /**
+     * Ask the run loops (runUntil/runWindowed/step) to stop before the
+     * next event. Safe to call from any thread (the guard watchdog's
+     * abort path); the executing thread observes the flag within one
+     * event. Pending events stay queued — the run simply stops making
+     * progress, and the caller reports a structured abort instead of
+     * hanging.
+     */
+    void
+    requestAbort()
+    {
+        abort_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    abortRequested() const
+    {
+        return abort_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm the loops after an aborted run (tests). */
+    void clearAbort() { abort_.store(false, std::memory_order_relaxed); }
+
+    /**
+     * Progress mirrors for the guard watchdog: the executing thread
+     * publishes now()/eventsExecuted() into atomics every
+     * `beatPeriod` events (and at every runWindowed round boundary), so
+     * a monitor thread can observe forward progress without a data race
+     * on the hot members. Monitoring only — values may trail the true
+     * counters by up to beatPeriod events.
+     */
+    Tick
+    tickApprox() const
+    {
+        return tickMirror_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    executedApprox() const
+    {
+        return executedMirror_.load(std::memory_order_relaxed);
+    }
+
     /** Windows opened by runWindowed() (the 1-shard round count). */
     std::uint64_t windowedRounds() const { return windowedRounds_; }
     /** Sum of runWindowed() window widths in ticks. */
@@ -387,6 +431,20 @@ class EventQueue
     std::uint64_t windowedRounds_ = 0;
     std::uint64_t windowedTicksSum_ = 0;
     std::uint64_t overflowMigrations_ = 0;
+
+    /** Events between progress-mirror publishes (power of two). */
+    static constexpr std::uint64_t beatPeriod = 4096;
+
+    void
+    publishProgress()
+    {
+        tickMirror_.store(now_, std::memory_order_relaxed);
+        executedMirror_.store(executed_, std::memory_order_relaxed);
+    }
+
+    std::atomic<bool> abort_{false};
+    std::atomic<Tick> tickMirror_{0};
+    std::atomic<std::uint64_t> executedMirror_{0};
 };
 
 } // namespace ltp

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/guard/fault.hh"
 
 namespace ltp
 {
@@ -72,7 +73,9 @@ ParallelScheduler::post(NodeId dst, Tick when, std::uint64_t chan,
     unsigned from = tlsShard;
     unsigned to = shard_[dst];
     assert(from < parts_.size());
-    if (parts_[from]->out[to].push(PostItem{when, chan, std::move(cb)}))
+    bool storm = guard::Faults::on(guard::FaultKind::SpillStorm);
+    if (parts_[from]->out[to].push(PostItem{when, chan, std::move(cb)},
+                                   storm))
         obs::Tracer::engineInstant("mailbox spill", when, to);
 }
 
@@ -150,9 +153,21 @@ ParallelScheduler::workerLoop(unsigned shard, Tick limit)
     tlsShard = shard;
     obs::Tracer::bindThread(shard);
     Partition &p = *parts_[shard];
-    for (;;) {
+    std::uint64_t iter = 0;
+    for (;; ++iter) {
         applyInbox(shard);
         p.nextTick.store(p.eq.nextEventTick(), std::memory_order_relaxed);
+
+        if (guard::Faults::on(guard::FaultKind::BarrierWedge) &&
+            guard::Faults::instance().wedgeHit(shard, iter)) {
+            // Induced wedge: this shard stops arriving at the barrier,
+            // which freezes every other shard mid-round — exactly the
+            // failure the watchdog's barrier-stall detector exists for.
+            // Sit out until an abort (or normal stop) releases us.
+            while (!stop_.load(std::memory_order_relaxed))
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            break;
+        }
 
         auto t0 = Clock::now();
         bool parked =
@@ -250,6 +265,50 @@ ParallelScheduler::runUntil(Tick limit)
         std::rethrow_exception(e);
     }
     return now();
+}
+
+void
+ParallelScheduler::requestAbort(const std::string &reason)
+{
+    {
+        std::lock_guard<std::mutex> g(abortMu_);
+        if (abortReason_.empty())
+            abortReason_ = reason;
+    }
+    // Order matters: raise the stop flag first so any shard released
+    // from the barrier (or the wedge fault's poll loop) immediately
+    // exits its worker loop, then stop the event loops, then tear down
+    // the barrier so parked shards wake to observe the flag.
+    stop_.store(true, std::memory_order_seq_cst);
+    for (auto &p : parts_)
+        p->eq.requestAbort();
+    if (!directDispatch())
+        barrier_.abort();
+}
+
+std::string
+ParallelScheduler::abortReason() const
+{
+    std::lock_guard<std::mutex> g(abortMu_);
+    return abortReason_;
+}
+
+Tick
+ParallelScheduler::tickApprox() const
+{
+    Tick t = 0;
+    for (const auto &p : parts_)
+        t = std::max(t, p->eq.tickApprox());
+    return t;
+}
+
+std::uint64_t
+ParallelScheduler::executedApprox() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : parts_)
+        n += p->eq.executedApprox();
+    return n;
 }
 
 Tick

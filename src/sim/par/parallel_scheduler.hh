@@ -108,6 +108,21 @@ class ParallelScheduler final : public SimContext
     Tick now() const override;
     std::uint64_t eventsExecuted() const override;
 
+    /**
+     * Stop the engine from any thread: raises every shard queue's abort
+     * flag, sets the stop flag, and tears down the window barrier so
+     * parked shards wake and exit their worker loops instead of waiting
+     * for a round that will never complete.
+     */
+    void requestAbort(const std::string &reason) override;
+    std::string abortReason() const override;
+
+    Tick tickApprox() const override;
+    std::uint64_t executedApprox() const override;
+
+    /** The round barrier (watchdog stall probes); staged path only. */
+    const WindowBarrier &barrier() const { return barrier_; }
+
     /** Aggregate view over the per-shard groups (rebuilt per call). */
     StatGroup &stats() override;
 
@@ -157,11 +172,15 @@ class ParallelScheduler final : public SimContext
         std::vector<PostItem> spill;
         std::uint64_t spilled = 0; //!< lifetime spill count (profiling)
 
-        /** @return true when the item spilled past the ring. */
+        /**
+         * @param force_spill bypass the ring (the spill-storm fault).
+         * @return true when the item spilled past the ring.
+         */
         bool
-        push(PostItem &&item)
+        push(PostItem &&item, bool force_spill = false)
         {
-            if (!spill.empty() || !ring.tryPush(std::move(item))) {
+            if (force_spill || !spill.empty() ||
+                !ring.tryPush(std::move(item))) {
                 spill.push_back(std::move(item));
                 ++spilled;
                 return true;
@@ -208,6 +227,9 @@ class ParallelScheduler final : public SimContext
 
     std::mutex errorMu_;
     std::exception_ptr error_;
+
+    mutable std::mutex abortMu_;
+    std::string abortReason_;
 
     StatGroup merged_;
 };

@@ -44,6 +44,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -139,11 +141,31 @@ class SimContext
     /** Drive the simulation until drained or beyond @p limit. */
     virtual Tick runUntil(Tick limit) = 0;
 
+    /**
+     * Ask a running runUntil() to stop cleanly with @p reason instead
+     * of completing. Callable from any thread (the guard watchdog); the
+     * first reason wins. The engine stops within one event per shard
+     * (and tears down its barrier so parked shards wake); pending
+     * events stay queued and runUntil() returns normally.
+     */
+    virtual void requestAbort(const std::string &reason) = 0;
+
+    /** The winning requestAbort() reason; empty when none fired. */
+    virtual std::string abortReason() const = 0;
+
     /** Latest tick any partition has reached. */
     virtual Tick now() const = 0;
 
     /** Total events executed across all partitions. */
     virtual std::uint64_t eventsExecuted() const = 0;
+
+    /**
+     * Watchdog progress probes: monitor-thread-safe (atomic mirrors),
+     * may trail the true values by a publication beat. See
+     * EventQueue::tickApprox().
+     */
+    virtual Tick tickApprox() const = 0;
+    virtual std::uint64_t executedApprox() const = 0;
 
     /**
      * The whole run's statistics. Sequentially this is the one group;
@@ -184,10 +206,34 @@ class SequentialContext final : public SimContext
     }
 
     Tick runUntil(Tick limit) override { return eq_->runUntil(limit); }
+
+    void
+    requestAbort(const std::string &reason) override
+    {
+        {
+            std::lock_guard<std::mutex> g(abortMu_);
+            if (abortReason_.empty())
+                abortReason_ = reason;
+        }
+        eq_->requestAbort();
+    }
+
+    std::string
+    abortReason() const override
+    {
+        std::lock_guard<std::mutex> g(abortMu_);
+        return abortReason_;
+    }
+
     Tick now() const override { return eq_->now(); }
     std::uint64_t eventsExecuted() const override
     {
         return eq_->eventsExecuted();
+    }
+    Tick tickApprox() const override { return eq_->tickApprox(); }
+    std::uint64_t executedApprox() const override
+    {
+        return eq_->executedApprox();
     }
     StatGroup &stats() override { return *stats_; }
 
@@ -201,6 +247,8 @@ class SequentialContext final : public SimContext
     std::unique_ptr<Owned> owned_;
     EventQueue *eq_;
     StatGroup *stats_;
+    mutable std::mutex abortMu_;
+    std::string abortReason_;
 };
 
 } // namespace ltp

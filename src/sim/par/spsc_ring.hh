@@ -100,6 +100,25 @@ class SpscRing
 
     bool empty() const { return size() == 0; }
 
+    /** Sequence number of the next slot to fill (monotonic). */
+    std::size_t
+    rawTail() const
+    {
+        return tail_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Crash-dump inspection: the slot holding sequence number @p seq,
+     * or nullptr before the first push. Only exact for sequence numbers
+     * in [tail - Capacity, tail) with both sides quiet; the flight
+     * recorder reads it best-effort on the way down.
+     */
+    const T *
+    rawSlot(std::size_t seq) const
+    {
+        return slots_.empty() ? nullptr : &slots_[seq & (Capacity - 1)];
+    }
+
   private:
     // One cache line per side: the consumer's line holds head_ plus its
     // private tail cache, the producer's line holds tail_ plus its

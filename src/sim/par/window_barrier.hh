@@ -68,6 +68,8 @@ class WindowBarrier
     bool
     arriveAndWait(F &&completion)
     {
+        if (aborted_.load(std::memory_order_acquire))
+            return false;
         std::uint32_t gen = generation_.load(std::memory_order_acquire);
         if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             parties_) {
@@ -90,7 +92,8 @@ class WindowBarrier
         }
         unsigned spins = 0;
         bool parked = false;
-        while (generation_.load(std::memory_order_acquire) == gen) {
+        while (generation_.load(std::memory_order_acquire) == gen &&
+               !aborted_.load(std::memory_order_acquire)) {
             if (++spins < spinLimit_) {
 #if defined(__x86_64__) || defined(__i386__)
                 __builtin_ia32_pause();
@@ -107,6 +110,47 @@ class WindowBarrier
     bool arriveAndWait() { return arriveAndWait([] {}); }
 
     unsigned parties() const { return parties_; }
+
+    /**
+     * Tear the barrier down: every current and future arriveAndWait()
+     * returns immediately without running a completion. Bumping the
+     * generation word (seq_cst, same Dekker handshake as a normal
+     * release) kicks spinners and futex-parked waiters loose. Callable
+     * from any thread — this is the guard watchdog's escape hatch for a
+     * wedged round; callers are expected to observe a stop flag after
+     * returning. Irreversible for the barrier's lifetime.
+     */
+    void
+    abort()
+    {
+        aborted_.store(true, std::memory_order_seq_cst);
+        generation_.fetch_add(1, std::memory_order_seq_cst);
+        sleepers_.exchange(false, std::memory_order_seq_cst);
+        wakeAll();
+    }
+
+    bool
+    aborted() const
+    {
+        return aborted_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Watchdog probes (relaxed; monitoring only): a frozen generation
+     * with a nonzero arrival count for longer than the stall budget
+     * means some shard stopped arriving — the signature of a wedge.
+     */
+    std::uint32_t
+    generationValue() const
+    {
+        return generation_.load(std::memory_order_relaxed);
+    }
+
+    unsigned
+    arrivedCount() const
+    {
+        return arrived_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Arrivals that exhausted the spin budget and futex-parked, summed
@@ -157,6 +201,8 @@ class WindowBarrier
     /** Set by a parking waiter; cleared (and acted on) by the releaser. */
     std::atomic<bool> sleepers_{false};
     std::atomic<std::uint64_t> parks_{0};
+    /** Torn down by abort(); waiters fall through from then on. */
+    std::atomic<bool> aborted_{false};
 
     static_assert(sizeof(std::atomic<std::uint32_t>) == 4,
                   "futex word must be 32 bits");

@@ -12,6 +12,14 @@
 //   LTP_METRICS=m.jsonl         stream periodic StatGroup deltas
 //   LTP_METRICS_INTERVAL=5000   sampling period in ticks
 //   LTP_ENGINE_PROFILE=1        print the engine self-profile to stderr
+//
+// Harness guards (src/sim/guard/; watchdog/checkers/recorder are
+// observer-only too):
+//   LTP_CHECK=all               arm protocol invariant checkers
+//   LTP_FAULT=<spec>            deterministic fault injection
+//   LTP_WATCHDOG_MS / LTP_BARRIER_STALL_MS / LTP_MAX_WALL_MS /
+//   LTP_MAX_EVENTS / LTP_MAX_RSS_MB   progress/resource budgets
+//   LTP_FLIGHT_RECORDER=f.json  crash/abort flight-record dump
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -20,8 +28,11 @@
 
 #include "dsm/experiment.hh"
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runDebug(int argc, char **argv)
 {
     ltp::ExperimentSpec spec;
     spec.kernel = argc > 1 ? argv[1] : "tomcatv";
@@ -68,6 +79,7 @@ main(int argc, char **argv)
         else if (const char *env = std::getenv("LTP_SIM_THREADS"))
             sp.simThreads = ltp::parseSimThreads(env);
         sp.obs = ltp::obs::obsParamsFromEnv();
+        sp.guard = ltp::guard::guardParamsFromEnv();
     } catch (const std::invalid_argument &e) {
         std::cerr << e.what() << "\n";
         return 2;
@@ -91,6 +103,8 @@ main(int argc, char **argv)
     std::cout << "completed=" << r.completed << " cycles=" << r.cycles
               << " memOps=" << r.memOps
               << " invalidations=" << r.invalidations << "\n";
+    if (r.outcome == ltp::RunOutcome::Aborted)
+        std::cout << "aborted=\"" << r.abortReason << "\"\n";
     if (!r.completed) {
         for (ltp::NodeId n = 0; n < sp.numNodes; ++n) {
             auto &node = sys.node(n);
@@ -117,4 +131,20 @@ main(int argc, char **argv)
                   << "\n";
     }
     return r.completed ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Fail loudly but structured: a throwing run (a violated LTP_CHECK
+    // invariant, a bad spec, a harness bug) prints one parseable line
+    // and exits 1 instead of aborting with an unhandled exception.
+    try {
+        return runDebug(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "ltp_debug: fatal: " << e.what() << "\n";
+        return 1;
+    }
 }

@@ -46,8 +46,18 @@ def fmt_table(headers, rows):
 
 
 def load_trace(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read trace file: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: invalid trace JSON at line {e.lineno}, "
+                 f"column {e.colno}: {e.msg} (truncated file? a run that "
+                 f"crashed mid-flush leaves a partial trace)")
+    if not isinstance(doc, dict):
+        sys.exit(f"{path}: top level is {type(doc).__name__}, expected a "
+                 f"JSON object — not a trace file?")
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         sys.exit(f"{path}: no \"traceEvents\" array — not a trace file?")
@@ -125,15 +135,24 @@ def barrier_table(events):
 
 def metrics_summary(path, top):
     samples = []
-    with open(path) as f:
+    try:
+        f = open(path)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read metrics file: {e.strerror or e}")
+    with f:
         for i, line in enumerate(f):
             line = line.strip()
             if not line:
                 continue
             try:
-                samples.append(json.loads(line))
+                sample = json.loads(line)
             except json.JSONDecodeError as e:
-                sys.exit(f"{path}:{i + 1}: bad JSONL line: {e}")
+                sys.exit(f"{path}:{i + 1}: bad JSONL line: {e} "
+                         f"(truncated stream?)")
+            if not isinstance(sample, dict) or "tick" not in sample:
+                sys.exit(f"{path}:{i + 1}: not a metrics sample "
+                         f"(no \"tick\" field)")
+            samples.append(sample)
     if not samples:
         return f"{path}: no samples"
     out = [f"{len(samples)} samples over ticks "
