@@ -63,8 +63,8 @@ struct SystemParams
      * parallel engine's conservative windows (src/sim/par/). Results
      * are bit-identical for every value; configurations with a
      * zero-lookahead cross-node coupling (Active predictors' directory
-     * verification feedback, oblivious routing) fall back to one
-     * thread. 1 = the classic sequential engine.
+     * verification feedback) fall back to one thread. 1 = the classic
+     * sequential engine.
      */
     unsigned simThreads = 1;
 

@@ -64,10 +64,6 @@ networkLookahead(const NetworkParams &params)
         la.ticks = params.flightLatency +
                    std::min(params.controlOccupancy, params.dataOccupancy);
     } else {
-        if (params.routing == RoutingPolicy::Oblivious) {
-            la.serialReason = "oblivious routing draws from a shared RNG";
-            return la;
-        }
         if (params.linkBandwidth == 0) {
             // Invalid; reported properly by validateNetworkParams —
             // just avoid dividing by it here.

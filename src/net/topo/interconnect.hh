@@ -98,8 +98,9 @@ struct NetLookahead
  * Point-to-point: egress serialization + wire flight. Routed: every
  * cross-router interaction is at least one link serialization plus the
  * wire and router pipeline; with finite vcDepth the wire-delayed credit
- * return (hopLatency) bounds it instead. Oblivious routing draws from
- * one shared RNG whose consumption order is global, so it cannot shard.
+ * return (hopLatency) bounds it instead. Every routing policy shards:
+ * oblivious routing's coin flips are counter-based pure hashes of
+ * (src, dst, netSeq, router), not a shared stream.
  */
 NetLookahead networkLookahead(const NetworkParams &params);
 

@@ -29,14 +29,10 @@ RoutedNetwork::RoutedNetwork(SimContext &ctx, NodeId num_nodes,
       geom_(params.topology, num_nodes, params.meshWidth),
       linkIdx_(std::size_t(num_nodes) * num_nodes, -1),
       sendSeq_(std::size_t(num_nodes) * num_nodes, 0),
-      pairs_(std::size_t(num_nodes) * num_nodes),
-      rng_(0x0B11'0B11'0B11'0B11ull)
+      pairs_(std::size_t(num_nodes) * num_nodes)
 {
     assert(params_.topology != TopologyKind::PointToPoint &&
            "use Network for the point-to-point model");
-    assert((ctx.numShards() == 1 ||
-            params_.routing != RoutingPolicy::Oblivious) &&
-           "oblivious routing is serial-only (shared RNG)");
 
     for (unsigned s = 0; s < ctx.numShards(); ++s) {
         StatGroup &stats = ctx.shardStats(s);
@@ -93,6 +89,19 @@ int
 RoutedNetwork::linkIndex(NodeId from, NodeId to) const
 {
     return linkIdx_[std::size_t(from) * numNodes() + to];
+}
+
+unsigned
+RoutedNetwork::obliviousPick(NodeId at, const Message &msg,
+                             unsigned n) const
+{
+    // A pure draw per (injection, hop): the message's (src, dst, netSeq)
+    // names the injection, and productive routing visits any router at
+    // most once, so `at` names the hop. No router consumes anyone
+    // else's stream, which is what lets oblivious routing shard.
+    constexpr std::uint64_t seed = 0x0B11'0B11'0B11'0B11ull;
+    return unsigned(counterHash(seed, msg.src, msg.dst, msg.netSeq, at) %
+                    n);
 }
 
 std::uint8_t
@@ -160,7 +169,7 @@ RoutedNetwork::forward(NodeId at, Message msg, std::int32_t in_link,
         unsigned pick = 0;
         if (n > 1) {
             if (params_.routing == RoutingPolicy::Oblivious) {
-                pick = unsigned(rng_.below(n));
+                pick = obliviousPick(at, msg, n);
             } else if (congestion(routeLink(at, cands[1])) <
                        congestion(routeLink(at, cands[0]))) {
                 // Minimal-adaptive: the less congested productive port;

@@ -231,10 +231,13 @@ class RoutedNetwork : public NiInterconnect
     /** Per-(src, dst) ingress reorder buffers. */
     std::vector<PairState> pairs_;
 
-    /** Oblivious-routing coin flips (fixed seed: runs are repeatable).
-     *  Shared across routers, which is why oblivious routing is
-     *  serial-only (see networkLookahead). */
-    Rng rng_;
+    /** Oblivious-routing coin flip for @p msg leaving router @p at: a
+     *  pure counterHash of (seed, src, dst, netSeq, at). Counter-based
+     *  per-(src, dst) streams — no shared RNG state, no consumption
+     *  order — so oblivious routing shards like any other policy and
+     *  stays bit-identical for every simThreads value. */
+    unsigned obliviousPick(NodeId at, const Message &msg,
+                           unsigned n) const;
 
     // Shared stat names, one handle per shard (merged after the run).
     // Router-side stats index by the link owner's shard, delivery-side

@@ -17,8 +17,9 @@
  *  - system couplings with *zero* lookahead, which force the serial
  *    fallback: an Active predictor's directory-verification feedback is
  *    wired combinationally from the home directory into the
- *    self-invalidating node's predictor, and oblivious routing draws
- *    from one shared RNG whose consumption order is global.
+ *    self-invalidating node's predictor. (Oblivious routing used to be
+ *    the other such coupling — its shared RNG was replaced by pure
+ *    counter-based per-(src, dst) streams, so it now shards.)
  *
  * The fallback is not a failure mode: a plan with shards == 1 simply
  * runs the historical sequential engine, so every configuration remains

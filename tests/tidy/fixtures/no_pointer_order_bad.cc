@@ -1,0 +1,45 @@
+// ltp-tidy fixture: ltp-no-pointer-order MUST fire on each pattern
+// below.
+// ltp-tidy-scope: model
+//
+// Pointer values are a property of the allocator and the address
+// space, not of the model. Ordering, hashing, or integer-casting them
+// lets malloc layout decide tie-breaks — byte-identical dumps survive
+// only until the next allocator change.
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace fixture
+{
+
+struct Node
+{
+    unsigned id;
+};
+
+bool
+arbitrate(const Node *a, const Node *b)
+{
+    // Raw pointer ordering comparison decides a model tie-break.
+    return a < b;
+}
+
+unsigned long
+hashSlot(const Node *n)
+{
+    // Pointer-to-integer cast: the address leaks into the result.
+    return static_cast<unsigned long>(
+        reinterpret_cast<std::uintptr_t>(n) >> 4);
+}
+
+class Arbiter
+{
+  private:
+    // Containers keyed on raw pointers iterate in address order.
+    std::map<Node *, unsigned> credits_;
+    std::set<const Node *, std::less<const Node *>> waiters_;
+};
+
+} // namespace fixture

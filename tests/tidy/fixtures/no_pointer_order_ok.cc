@@ -1,0 +1,37 @@
+// ltp-tidy fixture: ltp-no-pointer-order must stay SILENT here.
+// ltp-tidy-scope: model
+//
+// The sanctioned idiom: key and compare on stable model ids (NodeId,
+// VC index, address) that are pure functions of the configuration.
+// Pointer *equality* is fine — only ordering/hashing is banned.
+
+#include <map>
+
+namespace fixture
+{
+
+using NodeId = unsigned;
+
+struct Node
+{
+    NodeId id;
+};
+
+bool
+arbitrate(const Node *a, const Node *b)
+{
+    // Tie-break on the stable model id, not the address. Pointer
+    // equality (same object?) is deterministic and stays legal.
+    if (a == b)
+        return false;
+    return a->id < b->id;
+}
+
+class Arbiter
+{
+  private:
+    // Keyed on the model id: iteration order is configuration-derived.
+    std::map<NodeId, unsigned> credits_;
+};
+
+} // namespace fixture

@@ -1,0 +1,39 @@
+// ltp-tidy fixture: ltp-no-shared-rng must stay SILENT here.
+// ltp-tidy-scope: model
+//
+// The sanctioned idiom: counter-based draws. Each random value is a
+// pure hash of the seed and the coordinates that name the draw (here
+// (src, dst, seq, hop) — cf. RoutedNetwork::obliviousPick and the
+// guard fault injector's per-site streams). No mutable stream exists,
+// so consumption order cannot leak into results.
+
+namespace fixture
+{
+
+using u64 = unsigned long long;
+
+// SplitMix64 output mix as a pure function (src/sim/rng.hh idiom).
+constexpr u64
+splitMix64(u64 z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+constexpr u64
+counterHash(u64 seed, u64 src, u64 dst, u64 seq, u64 hop)
+{
+    return splitMix64(seed ^ splitMix64(src ^ splitMix64(
+        dst ^ splitMix64(seq ^ splitMix64(hop)))));
+}
+
+unsigned
+obliviousPick(u64 src, u64 dst, u64 seq, u64 hop, unsigned n)
+{
+    constexpr u64 seed = 0x0B11'0B11'0B11'0B11ull;
+    return unsigned(counterHash(seed, src, dst, seq, hop) % n);
+}
+
+} // namespace fixture

@@ -1,0 +1,49 @@
+// ltp-tidy fixture: ltp-no-unordered-container must stay SILENT here.
+// ltp-tidy-scope: model
+//
+// The sanctioned idiom: ltp::FlatMap/FlatSet (sorted vectors, see
+// src/sim/flat_map.hh) or std::map/set — all iterate in key order,
+// which is a pure function of the keys.
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace ltp
+{
+
+// Mock of the project's sorted-vector map (src/sim/flat_map.hh).
+template <typename K, typename V>
+class FlatMap
+{
+  public:
+    V &operator[](const K &k)
+    {
+        data_.emplace_back(k, V{});
+        return data_.back().second;
+    }
+
+  private:
+    std::vector<std::pair<K, V>> data_;
+};
+
+} // namespace ltp
+
+namespace fixture
+{
+
+class Directory
+{
+  public:
+    void track(unsigned long addr, unsigned node)
+    {
+        order_[addr] = node;
+        flat_[addr] = node;
+    }
+
+  private:
+    std::map<unsigned long, unsigned> order_;
+    ltp::FlatMap<unsigned long, unsigned> flat_;
+};
+
+} // namespace fixture

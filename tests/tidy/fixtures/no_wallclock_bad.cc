@@ -1,0 +1,37 @@
+// ltp-tidy fixture: ltp-no-wallclock MUST fire on every read below.
+// ltp-tidy-scope: model
+//
+// Model code deciding anything off the host clock breaks the
+// byte-identical-dump contract: the result would depend on machine
+// speed and scheduling, not on (params, seed).
+
+#include <chrono>
+#include <ctime>
+
+namespace fixture
+{
+
+unsigned long
+backoffTicks()
+{
+    // Host steady clock in a model-side decision.
+    auto deadline = std::chrono::steady_clock::now();
+    return static_cast<unsigned long>(
+        deadline.time_since_epoch().count());
+}
+
+unsigned long
+seedFromHost()
+{
+    // Seeding from wall-clock time makes every run unique.
+    return static_cast<unsigned long>(time(nullptr));
+}
+
+long
+cpuBudget()
+{
+    // CPU-time read; same problem.
+    return static_cast<long>(clock());
+}
+
+} // namespace fixture

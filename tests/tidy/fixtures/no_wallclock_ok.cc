@@ -1,0 +1,30 @@
+// ltp-tidy fixture: ltp-no-wallclock must stay SILENT here.
+// ltp-tidy-scope: model
+//
+// The sanctioned idiom: model code reads virtual time from its event
+// queue. Ticks advance only when events execute, so the value is a
+// pure function of (params, seed) and identical at every simThreads.
+
+namespace fixture
+{
+
+using Tick = unsigned long long;
+
+class EventQueue
+{
+  public:
+    Tick now() const { return now_; }
+    void advanceTo(Tick t) { now_ = t; }
+
+  private:
+    Tick now_ = 0;
+};
+
+Tick
+backoffDeadline(const EventQueue &q, Tick penalty)
+{
+    // Virtual "now" plus a model-derived penalty: deterministic.
+    return q.now() + penalty;
+}
+
+} // namespace fixture

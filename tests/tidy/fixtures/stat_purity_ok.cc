@@ -1,0 +1,50 @@
+// ltp-tidy fixture: ltp-stat-purity must stay SILENT here.
+// ltp-tidy-scope: observer
+//
+// The sanctioned idioms: read model stats through the const accessors
+// only, and keep observer-owned tallies in the observer's own structs
+// (src/obs/engine_profile.hh idiom) — never inside StatGroup.
+
+namespace ltp
+{
+
+// Mock of src/sim/stats.hh — only the const surface.
+class Counter
+{
+  public:
+    unsigned long value() const { return v_; }
+
+  private:
+    unsigned long v_ = 0;
+};
+
+class StatGroup
+{
+  public:
+    const Counter *find(const char *) const { return &c_; }
+    unsigned long counterValue(const char *) const { return c_.value(); }
+
+  private:
+    Counter c_;
+};
+
+} // namespace ltp
+
+namespace fixture
+{
+
+// Observer-owned tally, outside StatGroup: mutating it cannot touch a
+// stats dump.
+struct ProfileTally
+{
+    unsigned long wakeups = 0;
+};
+
+unsigned long
+snapshotFaults(const ltp::StatGroup &stats, ProfileTally &tally)
+{
+    ++tally.wakeups;
+    return stats.counterValue("dsm.invalidations");
+}
+
+} // namespace fixture

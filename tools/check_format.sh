@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Format gate, diff mode: only files changed relative to a base ref are
+# checked, so historical formatting is never relitigated by an
+# unrelated PR.
+#
+#   tools/check_format.sh [base-ref]
+#
+# base-ref defaults to the merge base with origin/main (falling back to
+# main, then HEAD for a fresh clone with no upstream).
+#
+# Two layers:
+#   1. clang-format --dry-run against .clang-format over the changed
+#      C++ files. Needs a clang-format executable; when none is on
+#      PATH the layer is skipped with a loud notice (CI installs one;
+#      the dev container may not have it).
+#   2. A toolchain-free whitespace gate (trailing whitespace, missing
+#      final newline, CR line endings, tab indentation) that always
+#      runs, so the gate is never a silent no-op.
+#
+# Exit 0 = clean (possibly with layer-1 skipped), 1 = violations.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+base="${1:-}"
+if [ -z "$base" ]; then
+    for ref in origin/main main; do
+        if git rev-parse --verify -q "$ref" >/dev/null; then
+            base="$(git merge-base HEAD "$ref")" && break
+        fi
+    done
+fi
+base="${base:-HEAD}"
+
+# Changed C++ files (added/copied/modified/renamed), plus any staged or
+# unstaged edits in the working tree.
+mapfile -t files < <(
+    { git diff --name-only --diff-filter=ACMR "$base" -- \
+          '*.cc' '*.hh' '*.cpp';
+      git diff --name-only --diff-filter=ACMR -- '*.cc' '*.hh' '*.cpp';
+    } | sort -u)
+
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "check_format: no C++ files changed since ${base}"
+    exit 0
+fi
+echo "check_format: ${#files[@]} changed file(s) since ${base}"
+
+status=0
+
+# ---- layer 1: clang-format ------------------------------------------------
+
+clang_format=""
+for name in clang-format clang-format-20 clang-format-19 \
+            clang-format-18 clang-format-17 clang-format-16 \
+            clang-format-15 clang-format-14; do
+    if command -v "$name" >/dev/null 2>&1; then
+        clang_format="$name"
+        break
+    fi
+done
+
+if [ -n "$clang_format" ]; then
+    echo "check_format: using $clang_format ($($clang_format --version))"
+    if ! "$clang_format" --dry-run -Werror --style=file "${files[@]}"
+    then
+        echo "check_format: clang-format violations above;" \
+             "run: $clang_format -i --style=file <file>"
+        status=1
+    fi
+else
+    echo "======================================================================"
+    echo "check_format NOTICE: no clang-format on PATH — style layer SKIPPED."
+    echo "Only the whitespace gate below ran. Install clang-format to check"
+    echo "the full .clang-format style locally; CI always runs it."
+    echo "======================================================================"
+fi
+
+# ---- layer 2: whitespace gate (always runs) -------------------------------
+
+for f in "${files[@]}"; do
+    [ -f "$f" ] || continue
+    if grep -n -I ' $\|	$' "$f" /dev/null | head -5 | sed 's/$/ <-- trailing whitespace/'
+    then
+        status=1
+    fi
+    if grep -n -I $'\r' "$f" /dev/null | head -3 | sed 's/$/ <-- CR line ending/'
+    then
+        status=1
+    fi
+    if [ -s "$f" ] && [ -n "$(tail -c1 "$f")" ]; then
+        echo "$f: missing final newline"
+        status=1
+    fi
+    if grep -n -I $'^\t' "$f" /dev/null | head -3 | sed 's/$/ <-- tab indentation/'
+    then
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_format: OK"
+else
+    echo "check_format: FAIL"
+fi
+exit "$status"

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * LtpTidyModule: the project's clang-tidy plugin.
+ *
+ * Registers the five determinism checks that make the byte-identical-
+ * dump contract a compile-time property (see tools/ltp-tidy/README.md):
+ *
+ *   ltp-no-wallclock           model code runs on virtual time only
+ *   ltp-no-shared-rng          counter-based draws, no shared streams
+ *   ltp-no-unordered-container deterministic iteration only
+ *   ltp-no-pointer-order       no address-ordered/hashed results
+ *   ltp-stat-purity            guard/ and obs/ never mutate StatGroup
+ *
+ * Built as a shared module (cmake -DLTP_BUILD_TIDY=ON) and loaded with
+ *
+ *   clang-tidy -load tools/ltp-tidy/libltp-tidy-module.so \
+ *              -checks='ltp-*' ...
+ *
+ * The checks are scope-agnostic: tools/run_ltp_tidy.py owns the
+ * model-directory globs and decides which checks apply to which files,
+ * so path policy lives in exactly one place (shared with the driver's
+ * pure-Python fallback engine).
+ */
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "NoPointerOrderCheck.hh"
+#include "NoSharedRngCheck.hh"
+#include "NoUnorderedContainerCheck.hh"
+#include "NoWallclockCheck.hh"
+#include "StatPurityCheck.hh"
+
+namespace ltp_tidy
+{
+
+class LtpTidyModule : public clang::tidy::ClangTidyModule
+{
+  public:
+    void
+    addCheckFactories(
+        clang::tidy::ClangTidyCheckFactories &factories) override
+    {
+        factories.registerCheck<NoWallclockCheck>("ltp-no-wallclock");
+        factories.registerCheck<NoSharedRngCheck>("ltp-no-shared-rng");
+        factories.registerCheck<NoUnorderedContainerCheck>(
+            "ltp-no-unordered-container");
+        factories.registerCheck<NoPointerOrderCheck>(
+            "ltp-no-pointer-order");
+        factories.registerCheck<StatPurityCheck>("ltp-stat-purity");
+    }
+};
+
+} // namespace ltp_tidy
+
+namespace clang
+{
+namespace tidy
+{
+
+// Register the module with clang-tidy's factory registry; the -load'ed
+// shared object contributes its checks through this static instance.
+static ClangTidyModuleRegistry::Add<ltp_tidy::LtpTidyModule>
+    ltpTidyModuleInit("ltp-tidy-module",
+                      "LTP determinism-contract checks.");
+
+// Anchor so the static registration is not dead-stripped.
+volatile int ltpTidyModuleAnchorSource = 0;
+
+} // namespace tidy
+} // namespace clang

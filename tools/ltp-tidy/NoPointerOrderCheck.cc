@@ -1,0 +1,89 @@
+#include "NoPointerOrderCheck.hh"
+
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace ltp_tidy
+{
+
+namespace
+{
+
+// Ordering functors and hashers instantiated on a pointer type.
+const auto pointerFunctor = classTemplateSpecializationDecl(
+    hasAnyName("::std::less", "::std::greater", "::std::less_equal",
+               "::std::greater_equal", "::std::hash"),
+    hasTemplateArgument(0, refersToType(pointerType())));
+
+// Ordered / hashed containers keyed on a pointer.
+const auto pointerKeyedContainer = classTemplateSpecializationDecl(
+    hasAnyName("::std::map", "::std::set", "::std::multimap",
+               "::std::multiset", "::ltp::FlatMap", "::ltp::FlatSet"),
+    hasTemplateArgument(0, refersToType(pointerType())));
+
+} // namespace
+
+void
+NoPointerOrderCheck::registerMatchers(MatchFinder *finder)
+{
+    finder->addMatcher(
+        binaryOperator(hasAnyOperatorName("<", ">", "<=", ">="),
+                       hasLHS(expr(hasType(pointerType()))),
+                       hasRHS(expr(hasType(pointerType()))))
+            .bind("cmp"),
+        this);
+
+    finder->addMatcher(
+        valueDecl(hasType(hasUnqualifiedDesugaredType(
+                      recordType(hasDeclaration(pointerFunctor)))))
+            .bind("functor"),
+        this);
+
+    finder->addMatcher(
+        valueDecl(hasType(hasUnqualifiedDesugaredType(
+                      recordType(hasDeclaration(pointerKeyedContainer)))))
+            .bind("container"),
+        this);
+
+    // Pointer-to-integer casts: the "hash the address" idiom.
+    finder->addMatcher(
+        explicitCastExpr(hasSourceExpression(hasType(pointerType())),
+                         hasDestinationType(isInteger()))
+            .bind("cast"),
+        this);
+}
+
+void
+NoPointerOrderCheck::check(const MatchFinder::MatchResult &result)
+{
+    if (const auto *cmp =
+            result.Nodes.getNodeAs<clang::BinaryOperator>("cmp")) {
+        diag(cmp->getOperatorLoc(),
+             "ordering comparison of raw pointers: address-space layout "
+             "leaks into results; order on stable model ids instead");
+        return;
+    }
+    if (const auto *decl =
+            result.Nodes.getNodeAs<clang::ValueDecl>("functor")) {
+        diag(decl->getLocation(),
+             "ordering/hashing functor on a pointer type: address-space "
+             "layout leaks into results; key on stable model ids");
+        return;
+    }
+    if (const auto *decl =
+            result.Nodes.getNodeAs<clang::ValueDecl>("container")) {
+        diag(decl->getLocation(),
+             "container keyed on raw pointers: iteration order follows "
+             "the address space; key on stable model ids instead");
+        return;
+    }
+    if (const auto *cast =
+            result.Nodes.getNodeAs<clang::ExplicitCastExpr>("cast")) {
+        diag(cast->getBeginLoc(),
+             "pointer-to-integer cast in model code: the address is not "
+             "a stable value; derive ids from model structure instead");
+    }
+}
+
+} // namespace ltp_tidy

@@ -1,0 +1,76 @@
+#include "NoSharedRngCheck.hh"
+
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace ltp_tidy
+{
+
+namespace
+{
+
+// The std engine templates behind mt19937, minstd_rand, ranlux24, ...
+const auto stdEngineDecl = cxxRecordDecl(hasAnyName(
+    "::std::random_device", "::std::mersenne_twister_engine",
+    "::std::linear_congruential_engine",
+    "::std::subtract_with_carry_engine", "::std::discard_block_engine",
+    "::std::independent_bits_engine", "::std::shuffle_order_engine"));
+
+} // namespace
+
+void
+NoSharedRngCheck::registerMatchers(MatchFinder *finder)
+{
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::rand", "::srand", "::random", "::srandom",
+                     "::rand_r", "::drand48", "::lrand48", "::mrand48"))))
+            .bind("crand"),
+        this);
+
+    // Any declaration whose type is a std engine / random_device.
+    finder->addMatcher(
+        valueDecl(hasType(hasUnqualifiedDesugaredType(
+                      recordType(hasDeclaration(stdEngineDecl)))))
+            .bind("engine"),
+        this);
+
+    // Mutable ltp::Rng members: a stream whose draws interleave across
+    // its owner's users. (Locals are fine — one sequential consumer.)
+    finder->addMatcher(
+        fieldDecl(hasType(hasUnqualifiedDesugaredType(recordType(
+                      hasDeclaration(cxxRecordDecl(hasName("::ltp::Rng")))))))
+            .bind("member"),
+        this);
+}
+
+void
+NoSharedRngCheck::check(const MatchFinder::MatchResult &result)
+{
+    if (const auto *call =
+            result.Nodes.getNodeAs<clang::CallExpr>("crand")) {
+        diag(call->getBeginLoc(),
+             "C-library RNG in model code; use ltp::counterHash() "
+             "(sim/rng.hh) — a pure draw per model coordinate tuple");
+        return;
+    }
+    if (const auto *decl =
+            result.Nodes.getNodeAs<clang::ValueDecl>("engine")) {
+        diag(decl->getLocation(),
+             "std random engine in model code; engines are platform-"
+             "dependent mutable streams — use ltp::counterHash() "
+             "(sim/rng.hh)");
+        return;
+    }
+    if (const auto *field =
+            result.Nodes.getNodeAs<clang::FieldDecl>("member")) {
+        diag(field->getLocation(),
+             "ltp::Rng member: a shared stream whose consumption order "
+             "is part of the result; use ltp::counterHash() keyed on "
+             "stable model coordinates, or record the single-consumer "
+             "justification in tools/tidy_baseline.json");
+    }
+}
+
+} // namespace ltp_tidy

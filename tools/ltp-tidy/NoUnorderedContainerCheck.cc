@@ -1,0 +1,52 @@
+#include "NoUnorderedContainerCheck.hh"
+
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace ltp_tidy
+{
+
+namespace
+{
+
+const auto unorderedDecl = namedDecl(hasAnyName(
+    "::std::unordered_map", "::std::unordered_set",
+    "::std::unordered_multimap", "::std::unordered_multiset"));
+
+} // namespace
+
+void
+NoUnorderedContainerCheck::registerMatchers(MatchFinder *finder)
+{
+    // Any declaration (variable, field, parameter, alias target) whose
+    // type involves an unordered container. Declarations are the choke
+    // point: model code cannot iterate a container it never declared.
+    finder->addMatcher(
+        valueDecl(hasType(hasUnqualifiedDesugaredType(
+                      recordType(hasDeclaration(unorderedDecl)))))
+            .bind("decl"),
+        this);
+    finder->addMatcher(
+        typedefNameDecl(hasType(hasUnqualifiedDesugaredType(
+                            recordType(hasDeclaration(unorderedDecl)))))
+            .bind("alias"),
+        this);
+}
+
+void
+NoUnorderedContainerCheck::check(const MatchFinder::MatchResult &result)
+{
+    const clang::NamedDecl *decl =
+        result.Nodes.getNodeAs<clang::NamedDecl>("decl");
+    if (!decl)
+        decl = result.Nodes.getNodeAs<clang::NamedDecl>("alias");
+    if (!decl)
+        return;
+    diag(decl->getLocation(),
+         "unordered container in model code: iteration order is not "
+         "deterministic; use ltp::FlatMap/FlatSet (sim/flat_map.hh) or "
+         "std::map/std::set");
+}
+
+} // namespace ltp_tidy

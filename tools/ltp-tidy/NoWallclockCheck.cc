@@ -1,0 +1,48 @@
+#include "NoWallclockCheck.hh"
+
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace ltp_tidy
+{
+
+void
+NoWallclockCheck::registerMatchers(MatchFinder *finder)
+{
+    // C-library wall-clock reads.
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::time", "::clock", "::gettimeofday",
+                     "::clock_gettime", "::timespec_get", "::ftime"))))
+            .bind("libc"),
+        this);
+
+    // std::chrono::{system,steady,high_resolution}_clock::now() and any
+    // other chrono clock (they all expose a static now()).
+    finder->addMatcher(
+        callExpr(callee(cxxMethodDecl(
+                     hasName("now"),
+                     ofClass(matchesName("::std::chrono::.*clock")))))
+            .bind("chrono"),
+        this);
+}
+
+void
+NoWallclockCheck::check(const MatchFinder::MatchResult &result)
+{
+    if (const auto *call = result.Nodes.getNodeAs<clang::CallExpr>("libc")) {
+        diag(call->getBeginLoc(),
+             "wall-clock read in model code; model decisions must use "
+             "virtual time (EventQueue::now()) only");
+        return;
+    }
+    if (const auto *call =
+            result.Nodes.getNodeAs<clang::CallExpr>("chrono")) {
+        diag(call->getBeginLoc(),
+             "std::chrono clock read in model code; model decisions must "
+             "use virtual time (EventQueue::now()) only");
+    }
+}
+
+} // namespace ltp_tidy

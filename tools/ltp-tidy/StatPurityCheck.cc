@@ -1,0 +1,51 @@
+#include "StatPurityCheck.hh"
+
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace ltp_tidy
+{
+
+void
+StatPurityCheck::registerMatchers(MatchFinder *finder)
+{
+    // StatGroup's creating lookups and bulk mutators. The find*() /
+    // counterValue() / snapshot() accessors are const and stay legal.
+    finder->addMatcher(
+        cxxMemberCallExpr(
+            callee(cxxMethodDecl(
+                hasAnyName("counter", "average", "histogram", "mergeFrom",
+                           "resetAll"),
+                ofClass(hasName("::ltp::StatGroup")))))
+            .bind("group"),
+        this);
+
+    // Mutators of the stat objects themselves.
+    finder->addMatcher(
+        cxxMemberCallExpr(
+            callee(cxxMethodDecl(
+                hasAnyName("inc", "set", "sample", "merge", "reset"),
+                ofClass(hasAnyName("::ltp::Counter", "::ltp::Average",
+                                   "::ltp::Histogram")))))
+            .bind("stat"),
+        this);
+}
+
+void
+StatPurityCheck::check(const MatchFinder::MatchResult &result)
+{
+    const auto *call = result.Nodes.getNodeAs<clang::CXXMemberCallExpr>(
+        "group");
+    if (!call)
+        call = result.Nodes.getNodeAs<clang::CXXMemberCallExpr>("stat");
+    if (!call)
+        return;
+    diag(call->getBeginLoc(),
+         "observer code mutates StatGroup state: guard/ and obs/ must "
+         "keep stats dumps byte-identical whether or not they are "
+         "armed; own counters outside StatGroup (obs/engine_profile.hh "
+         "idiom) or use the const accessors");
+}
+
+} // namespace ltp_tidy

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ltp-stat-purity: guard/ and obs/ are observers, not participants.
+ *
+ * The observability (src/obs/) and hardening (src/sim/guard/)
+ * subsystems guarantee that arming them never changes a run's stats
+ * dump: tracing, metrics sampling, checkers and watchdogs may *read*
+ * StatGroup but must never mutate it. This check makes that guarantee
+ * structural: within those directories it bans calls to StatGroup's
+ * creating/mutating lookups (counter/average/histogram, mergeFrom,
+ * resetAll) and to the Counter/Average/Histogram mutators (inc, set,
+ * sample, merge, reset).
+ *
+ * Sanctioned idiom: own counters outside StatGroup (see
+ * obs/engine_profile.hh) or the const snapshot()/find*() accessors.
+ */
+
+#ifndef LTP_TOOLS_LTP_TIDY_STAT_PURITY_CHECK_HH
+#define LTP_TOOLS_LTP_TIDY_STAT_PURITY_CHECK_HH
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace ltp_tidy
+{
+
+class StatPurityCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    StatPurityCheck(llvm::StringRef name,
+                    clang::tidy::ClangTidyContext *context)
+        : ClangTidyCheck(name, context)
+    {
+    }
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder) override;
+    void
+    check(const clang::ast_matchers::MatchFinder::MatchResult &result)
+        override;
+};
+
+} // namespace ltp_tidy
+
+#endif // LTP_TOOLS_LTP_TIDY_STAT_PURITY_CHECK_HH
