@@ -11,12 +11,20 @@
  * Every perf-affecting PR from this one onward reruns this bench in
  * Release mode and diffs the JSON against the previous trajectory point.
  *
- *   $ ./bench_perf [--out FILE] [--scale S] [--threads LIST] [kernel...]
+ *   $ ./bench_perf [--out FILE] [--scale S] [--threads LIST]
+ *                  [--filter REGEX] [--repeat N] [kernel...]
  *
  * --scale multiplies every kernel's default iteration count (use < 1 for
  * a quick smoke run, > 1 for more stable numbers). Wall-clock timing
  * covers system construction + run (the steady-state schedule/execute
  * loop dominates).
+ *
+ * --filter runs only the cells whose "kernel/config" id matches the
+ * ECMAScript regex (searched, not anchored): `--filter 'moldyn/mesh'`
+ * reruns one cell instead of the whole matrix while iterating on an
+ * optimization. --repeat N runs every selected cell N times and records
+ * the minimum-wall sample — min, not mean, because scheduling noise
+ * only ever adds time.
  *
  * The `parallel` section sweeps the node-partitioned engine on a
  * 64-node mesh (base system) at the shard counts given by --threads
@@ -30,6 +38,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <regex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -183,6 +193,19 @@ writeJson(const std::string &path, const std::vector<Sample> &samples,
     std::fclose(f);
 }
 
+/** Selected cells rerun `repeat` times; the min-wall sample survives. */
+Sample
+bestOf(int repeat, const std::function<Sample()> &run_cell)
+{
+    Sample best = run_cell();
+    for (int i = 1; i < repeat; ++i) {
+        Sample s = run_cell();
+        if (s.wallSeconds < best.wallSeconds)
+            best = std::move(s);
+    }
+    return best;
+}
+
 } // namespace
 
 static int
@@ -190,6 +213,8 @@ run(int argc, char **argv)
 {
     std::string out = "BENCH_core.json";
     double scale = 1.0;
+    int repeat = 1;
+    std::string filter;
     std::vector<unsigned> threads = {1, 2, 4};
     std::vector<std::string> kernels;
 
@@ -198,6 +223,14 @@ run(int argc, char **argv)
             out = argv[++i];
         } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
             scale = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--filter") && i + 1 < argc) {
+            filter = argv[++i];
+        } else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc) {
+            repeat = std::atoi(argv[++i]);
+            if (repeat < 1) {
+                std::fprintf(stderr, "bad --repeat count '%s'\n", argv[i]);
+                return 1;
+            }
         } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
             threads.clear();
             for (const char *p = argv[++i]; *p;) {
@@ -217,6 +250,21 @@ run(int argc, char **argv)
     }
     if (kernels.empty())
         kernels = allKernelNames();
+    std::regex filterRe;
+    if (!filter.empty()) {
+        try {
+            filterRe = std::regex(filter);
+        } catch (const std::regex_error &e) {
+            std::fprintf(stderr, "bad --filter regex '%s': %s\n",
+                         filter.c_str(), e.what());
+            return 1;
+        }
+    }
+    auto selected = [&](const std::string &kernel,
+                        const std::string &config) {
+        return filter.empty() ||
+               std::regex_search(kernel + "/" + config, filterRe);
+    };
     for (const auto &kernel : kernels) {
         bool known = false;
         for (const auto &name : allKernelNames())
@@ -241,12 +289,17 @@ run(int argc, char **argv)
     std::vector<Sample> samples;
     for (const auto &kernel : kernels) {
         for (int cfg = 0; cfg < 2; ++cfg) {
-            Sample s = cfg == 0
+            const char *config = cfg == 0 ? "base" : "ltp-active";
+            if (!selected(kernel, config))
+                continue;
+            Sample s = bestOf(repeat, [&] {
+                return cfg == 0
                            ? runOne(kernel, PredictorKind::Base,
                                     PredictorMode::Off, "base", scale)
                            : runOne(kernel, PredictorKind::LtpPerBlock,
                                     PredictorMode::Active, "ltp-active",
                                     scale);
+            });
             std::printf("%-12s %-10s | %8.3f %12llu %12llu | %12.0f "
                         "%12.0f%s\n",
                         s.kernel.c_str(), s.config.c_str(), s.wallSeconds,
@@ -261,7 +314,10 @@ run(int argc, char **argv)
     // mesh, one cell per (kernel, shard count).
     for (const auto &kernel : kernels) {
         for (unsigned t : threads) {
-            Sample s = runParallel(kernel, t, scale);
+            if (!selected(kernel, "mesh64-t" + std::to_string(t)))
+                continue;
+            Sample s = bestOf(
+                repeat, [&] { return runParallel(kernel, t, scale); });
             std::printf("%-12s %-10s | %8.3f %12llu %12llu | %12.0f "
                         "%12.0f%s%s\n",
                         s.kernel.c_str(), s.config.c_str(), s.wallSeconds,

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 #include "sim/types.hh"
 
@@ -103,6 +104,12 @@ struct Message
 
     std::string describe() const;
 };
+
+// The size contract the netSeq/netVcFlags padding games maintain — and
+// the unit the message pool's cache-line slot math is built on.
+static_assert(sizeof(Message) == 56, "Message grew past 56 bytes");
+static_assert(std::is_trivially_copyable_v<Message>,
+              "Message must stay a POD: it is copied into slab storage");
 
 } // namespace ltp
 

@@ -1,0 +1,34 @@
+#include "net/message_pool.hh"
+
+namespace ltp
+{
+
+std::uint32_t
+MessagePool::Shard::grow()
+{
+    // Out of recycled slots: materialize the next one, adding a slab
+    // when the current one fills. Slabs are never released or moved —
+    // the pool's footprint is the peak in-flight population, and every
+    // handed-out Message reference stays valid.
+    if ((numSlots >> slabShift) == slabs.size())
+        slabs.push_back(
+            std::make_unique<std::array<Slot, 1u << slabShift>>());
+    return numSlots++;
+}
+
+std::uint64_t
+MessagePool::liveMessages() const
+{
+    // Cold-path accounting (quiesce checks and tests): allocations are
+    // owner-counted, frees split into the owner's plain counter and the
+    // remote shards' atomic one. Only exact once the simulation has
+    // quiesced — mid-run it is a momentary snapshot.
+    std::uint64_t live = 0;
+    for (const Shard &sh : shards_) {
+        live += sh.allocs - sh.localFrees -
+                sh.remoteFrees.load(std::memory_order_relaxed);
+    }
+    return live;
+}
+
+} // namespace ltp

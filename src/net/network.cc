@@ -11,10 +11,12 @@ Network::send(Message msg)
 
     // The receiver-side hand-off: egress serialization + flight is the
     // model's cross-node lookahead (networkLookahead), so the post
-    // always clears the parallel engine's window.
+    // always clears the parallel engine's window. Only the pooled
+    // handle crosses the shard boundary.
     Tick arrive = egressDone(msg) + params_.flightLatency;
+    MsgHandle h = pool().alloc(ctx().shardOf(msg.src), msg);
     ctx().post(msg.dst, arrive, chan::pair(msg.src, msg.dst, numNodes()),
-               [this, msg] { arriveAtIngress(msg); });
+               [this, h] { arriveAtIngress(h); });
 }
 
 } // namespace ltp

@@ -12,6 +12,7 @@ NiInterconnect::NiInterconnect(SimContext &ctx, NodeId num_nodes,
                                NetworkParams params)
     : params_(params),
       ctx_(&ctx),
+      pool_(ctx.numShards()),
       niEgressFree_(num_nodes, 0),
       ingressQueue_(num_nodes),
       ingressBusy_(num_nodes, false),
@@ -70,8 +71,10 @@ NiInterconnect::injectLocalOrCount(Message &msg)
 
     if (msg.src != msg.dst)
         return false;
-    // Local delivery: no NI serialization, a nominal 1-cycle hop.
-    eq.scheduleIn(1, [this, msg] { deliver(msg); });
+    // Local delivery: no NI serialization, a nominal 1-cycle hop. The
+    // pooled handle keeps even this event's capture at two words.
+    MsgHandle h = pool_.alloc(shard, msg);
+    eq.scheduleIn(1, [this, h] { deliver(h); });
     return true;
 }
 
@@ -85,40 +88,43 @@ NiInterconnect::egressDone(const Message &msg)
 }
 
 void
-NiInterconnect::arriveAtIngress(Message msg)
+NiInterconnect::arriveAtIngress(MsgHandle h)
 {
-    NodeId dst = msg.dst;
+    NodeId dst = pool_.at(h).dst;
     if (ingressBusy_[dst]) {
-        ingressQueue_[dst].push_back(msg);
+        ingressQueue_[dst].push_back(h);
         return;
     }
     // Idle NI: service starts immediately — skip the queue round-trip.
     ingressBusy_[dst] = true;
-    serveIngress(dst, msg);
+    serveIngress(dst, h);
 }
 
 void
-NiInterconnect::serveIngress(NodeId node, const Message &msg)
+NiInterconnect::serveIngress(NodeId node, MsgHandle h)
 {
     // The busy flag serializes the NI: this event runs at (or, when the
     // NI went idle, after) the previous message's finish tick, so the
     // next service always starts now.
-    q(node).scheduleIn(niOccupancy(msg), [this, node, msg] {
-        deliver(msg);
-        std::deque<Message> &queue = ingressQueue_[node];
+    q(node).scheduleIn(niOccupancy(pool_.at(h)), [this, node, h] {
+        deliver(h);
+        std::deque<MsgHandle> &queue = ingressQueue_[node];
         if (queue.empty()) {
             ingressBusy_[node] = false;
             return;
         }
-        Message next = queue.front();
+        MsgHandle next = queue.front();
         queue.pop_front();
         serveIngress(node, next);
     });
 }
 
 void
-NiInterconnect::deliver(const Message &msg)
+NiInterconnect::deliver(MsgHandle h)
 {
+    // Slabs never move, so this reference survives anything the sink
+    // does (including injecting new messages); free only after it ran.
+    const Message &msg = pool_.at(h);
     Tick lat = q(msg.dst).now() - msg.injectedAt;
     // The end-to-end message-lifecycle span, named by type, on the
     // destination node's track: inject -> (NI, flight, hops) -> deliver.
@@ -131,6 +137,7 @@ NiInterconnect::deliver(const Message &msg)
         guard::Checks::instance().countDeliver(msg.src, msg.dst,
                                                msg.netSeq, q(msg.dst).now());
     sinks_[msg.dst](msg);
+    pool_.free(h, shard);
 }
 
 } // namespace ltp

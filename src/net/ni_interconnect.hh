@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/message.hh"
+#include "net/message_pool.hh"
 #include "net/topo/interconnect.hh"
 #include "sim/par/sim_context.hh"
 #include "sim/stats.hh"
@@ -80,12 +81,20 @@ class NiInterconnect : public Interconnect
     /** Serialize @p msg through its egress NI; returns the clear tick. */
     Tick egressDone(const Message &msg);
 
-    /** Hand @p msg (arriving from the subclass's fabric) to dst's NI.
-     *  Runs on the destination node's shard. */
-    void arriveAtIngress(Message msg);
+    /**
+     * The in-flight message arena. Subclasses alloc at injection (on
+     * the source node's shard) and every later hop moves only the
+     * handle; deliver() frees it after the sink ran.
+     */
+    MessagePool &pool() { return pool_; }
+    const MessagePool &pool() const { return pool_; }
 
-    /** Sample latency stats and hand @p msg to its sink. */
-    virtual void deliver(const Message &msg);
+    /** Hand @p h (arriving from the subclass's fabric) to dst's NI.
+     *  Runs on the destination node's shard. */
+    void arriveAtIngress(MsgHandle h);
+
+    /** Sample latency stats, hand the message to its sink, free @p h. */
+    virtual void deliver(MsgHandle h);
 
     NetworkParams params_;
 
@@ -93,11 +102,12 @@ class NiInterconnect : public Interconnect
     NiInterconnect(std::unique_ptr<SimContext> owned, NodeId num_nodes,
                    NetworkParams params);
 
-    /** Schedule @p msg's ingress-NI service (ends occupancy from now). */
-    void serveIngress(NodeId node, const Message &msg);
+    /** Schedule @p h's ingress-NI service (ends occupancy from now). */
+    void serveIngress(NodeId node, MsgHandle h);
 
     SimContext *ctx_;
     std::unique_ptr<SimContext> ownedCtx_; //!< legacy-constructor shim
+    MessagePool pool_;
 
     // Shared stat names, one handle per shard (merged after the run).
     std::vector<Counter *> msgsSent_;
@@ -108,7 +118,7 @@ class NiInterconnect : public Interconnect
     /** Earliest tick each egress NI is free. */
     std::vector<Tick> niEgressFree_;
     /** Per-ingress-NI FIFO of arrived-but-undelivered messages. */
-    std::vector<std::deque<Message>> ingressQueue_;
+    std::vector<std::deque<MsgHandle>> ingressQueue_;
     /** True while an ingress NI drain event is scheduled. */
     std::vector<bool> ingressBusy_;
     std::vector<Sink> sinks_;

@@ -149,14 +149,17 @@ RoutedNetwork::send(Message msg)
 
     msg.netSeq = sendSeq_[pairKey(msg.src, msg.dst)]++;
     msg.netVcFlags = 0;
-    q(msg.src).scheduleAt(egressDone(msg),
-                          [this, msg] { forward(msg.src, msg, -1, 0); });
+    NodeId src = msg.src;
+    Tick clear = egressDone(msg);
+    MsgHandle h = pool().alloc(ctx().shardOf(src), msg);
+    q(src).scheduleAt(clear, [this, src, h] { forward(src, h, -1, 0); });
 }
 
 void
-RoutedNetwork::forward(NodeId at, Message msg, std::int32_t in_link,
+RoutedNetwork::forward(NodeId at, MsgHandle h, std::int32_t in_link,
                        std::uint8_t in_vc)
 {
+    const Message &msg = pool().at(h);
     std::size_t l;
     std::uint8_t vc;
     if (params_.routing == RoutingPolicy::DimensionOrder) {
@@ -180,7 +183,7 @@ RoutedNetwork::forward(NodeId at, Message msg, std::int32_t in_link,
         l = routeLink(at, cands[pick]);
         vc = adaptiveVc(links_[l]);
     }
-    enqueue(l, Entry{msg, vc, in_link, in_vc});
+    enqueue(l, Entry{h, vc, in_link, in_vc});
 }
 
 void
@@ -231,29 +234,58 @@ RoutedNetwork::drainLink(std::size_t l)
     assert(linkIdle(link));
     link.draining = true;
 
+    // Batched drain: one event retires every grant whose outcome is
+    // already decided, walking a virtual clock `start` forward by one
+    // serialization per grant. The first grant happens at real time
+    // (start == now) with exactly the old single-grant arbitration.
+    // Later grants happen at virtual times, where only one decision is
+    // provably identical to what a real drain event at that tick would
+    // make: granting a *credited head*. Credits seen here are a lower
+    // bound (returns landing inside (now, start] are invisible to the
+    // batch, and a return can never be *lost*), so a head credited
+    // under the batch's view is credited for the real event too — and
+    // being the head, it is the entry the scan would pick. Everything
+    // else — a blocked head with a credited later entry (the real
+    // event might instead grant the freshly-credited head), an
+    // uncredited queue (the real event might grant or escape-reroute) —
+    // ends the batch; armEngine re-decides at freeAt with fresh state.
+    // Grant outcomes, ticks and VCs are therefore identical to the
+    // one-event-per-grant engine; only the posting event differs.
+    Tick now = q(link.from).now();
+    Tick start = now;
     for (;;) {
         // Grant the first request whose VC has a free downstream slot.
         // Later entries of *other* VCs may overtake a blocked head (that
         // is what virtual channels are for); same-VC order is preserved
         // because the scan always reaches the earlier entry first.
-        for (std::size_t i = 0; i < link.q.size(); ++i) {
-            if (hasCredit(link, link.q[i].vc)) {
-                Entry e = std::move(link.q[i]);
-                link.q.erase(link.q.begin() +
-                             std::deque<Entry>::difference_type(i));
-                link.draining = false;
-                grant(l, std::move(e));
-                return;
-            }
+        std::size_t i = 0;
+        for (; i < link.q.size(); ++i) {
+            if (hasCredit(link, link.q[i].vc))
+                break;
         }
+        if (i < link.q.size()) {
+            if (start != now && i != 0)
+                break; // virtual-time overtake: re-decide at freeAt
+            Entry e = std::move(link.q[i]);
+            link.q.erase(link.q.begin() +
+                         std::deque<Entry>::difference_type(i));
+            grantAt(l, std::move(e), start);
+            start = link.freeAt;
+            if (link.q.empty())
+                break;
+            continue;
+        }
+
+        if (start != now)
+            break; // credit view exhausted: re-decide at freeAt
 
         // Nothing can move. Duato-style escape: hand the oldest blocked
         // adaptive request over to the deadlock-free dimension-order
         // path, then rescan (in-place downgrades may now be grantable).
         std::size_t blocked = link.q.size();
-        for (std::size_t i = 0; i < link.q.size(); ++i) {
-            if (isAdaptiveVc(link.q[i].vc)) {
-                blocked = i;
+        for (std::size_t j = 0; j < link.q.size(); ++j) {
+            if (isAdaptiveVc(link.q[j].vc)) {
+                blocked = j;
                 break;
             }
         }
@@ -263,11 +295,12 @@ RoutedNetwork::drainLink(std::size_t l)
         Entry e = std::move(link.q[blocked]);
         link.q.erase(link.q.begin() +
                      std::deque<Entry>::difference_type(blocked));
+        const Message &msg = pool().at(e.h);
         escapeReroutes_[ctx().shardOf(link.from)]->inc();
         obs::Tracer::instant(obs::Cat::Link, link.from, "escape reroute",
-                             q(link.from).now(), e.msg.dst);
-        NodeId dor = geom_.nextHop(link.from, e.msg.dst);
-        e.vc = escapeVc(link.from, dor, e.msg);
+                             q(link.from).now(), msg.dst);
+        NodeId dor = geom_.nextHop(link.from, msg.dst);
+        e.vc = escapeVc(link.from, dor, msg);
         std::size_t el = routeLink(link.from, dor);
         if (el == l)
             link.q.insert(link.q.begin() +
@@ -278,10 +311,17 @@ RoutedNetwork::drainLink(std::size_t l)
     }
 
     link.draining = false;
+    // Re-arm only when this drain actually busied the wire: with the
+    // link still idle (nothing granted — every VC credit-blocked), a
+    // drain at freeAt <= now would re-run this same arbitration in the
+    // same tick forever. The credit return (scheduleCreditReturn) or
+    // the next enqueue() pumps the link instead, as before batching.
+    if (!link.q.empty() && !linkIdle(link))
+        armEngine(l);
 }
 
 void
-RoutedNetwork::grant(std::size_t l, Entry e)
+RoutedNetwork::grantAt(std::size_t l, Entry e, Tick start)
 {
     Link &link = links_[l];
     if (bounded()) {
@@ -289,10 +329,11 @@ RoutedNetwork::grant(std::size_t l, Entry e)
         // The upstream input-buffer slot frees as the message leaves it;
         // its credit flies back over the wire.
         if (e.inLink >= 0)
-            scheduleCreditReturn(std::size_t(e.inLink), e.inVc);
+            scheduleCreditReturn(std::size_t(e.inLink), e.inVc, start);
     }
 
-    Tick ser = serializationTicks(e.msg);
+    Message &msg = pool().at(e.h);
+    Tick ser = serializationTicks(msg);
     if (guard::Faults::on(guard::FaultKind::LinkStall)) {
         // Deterministic jitter: a pure hash of (seed, link, grant
         // index). The grant sequence on a link is itself deterministic
@@ -306,11 +347,11 @@ RoutedNetwork::grant(std::size_t l, Entry e)
     hops_[ctx().shardOf(link.from)]->inc();
     // The wire-busy span on the upstream router's track: one grant =
     // one serialization window on link from->to via the allocated VC.
-    obs::Tracer::span(obs::Cat::Link, link.from, "grant",
-                      q(link.from).now(), q(link.from).now() + ser,
-                      link.to, e.vc);
+    obs::Tracer::span(obs::Cat::Link, link.from, "grant", start,
+                      start + ser, link.to, e.vc);
 
-    Message msg = e.msg;
+    // The in-flight message has exactly one logical owner (this grant),
+    // so the dateline stamp mutates it in place.
     if (link.wrap)
         msg.netVcFlags |= std::uint8_t(1u << link.dim);
 
@@ -320,29 +361,30 @@ RoutedNetwork::grant(std::size_t l, Entry e)
     // preserved along any deterministic route.
     //
     // Serialization end is pure bookkeeping (`freeAt`), not an event:
-    // the coalesced link engine (armEngine) only materializes a drain
+    // the batched link engine (armEngine) only materializes a drain
     // event when traffic is actually waiting for the wire. The arrival
     // mutates the downstream router and crosses shards through post()
     // with serialization + wire + pipeline of lookahead.
-    Tick done = q(link.from).now() + ser;
+    Tick done = start + ser;
     link.freeAt = done;
-    if (!link.q.empty())
-        armEngine(l);
 
     Tick arrive = done + params_.hopLatency + params_.routerLatency;
     std::uint8_t vc = e.vc;
+    MsgHandle h = e.h;
     ctx().post(link.to, arrive, chan::link(l),
-               [this, l, vc, msg] { arriveAtRouter(l, vc, msg); });
+               [this, l, vc, h] { arriveAtRouter(l, vc, h); });
 }
 
 void
-RoutedNetwork::scheduleCreditReturn(std::size_t l, std::uint8_t vc)
+RoutedNetwork::scheduleCreditReturn(std::size_t l, std::uint8_t vc,
+                                    Tick from)
 {
     // Both callers (a downstream grant, an ejection) execute on the
     // shard of links_[l].to — the router holding the freed buffer slot —
     // while the credit mutates links_[l], owned by links_[l].from's
-    // shard one wire hop upstream.
-    Tick when = q(links_[l].to).now() + params_.hopLatency;
+    // shard one wire hop upstream. @p from is the freeing grant's
+    // (possibly virtual) start tick, >= the posting event's now.
+    Tick when = from + params_.hopLatency;
     ctx().post(links_[l].from, when, chan::credit(l), [this, l, vc] {
         Link &link = links_[l];
         ++link.credits[vc];
@@ -365,32 +407,33 @@ RoutedNetwork::scheduleCreditReturn(std::size_t l, std::uint8_t vc)
 }
 
 void
-RoutedNetwork::arriveAtRouter(std::size_t l, std::uint8_t vc, Message msg)
+RoutedNetwork::arriveAtRouter(std::size_t l, std::uint8_t vc, MsgHandle h)
 {
     NodeId at = links_[l].to;
-    if (at == msg.dst) {
+    if (at == pool().at(h).dst) {
         // Ejection is always available, so the input-buffer slot frees
         // immediately.
         if (bounded())
-            scheduleCreditReturn(l, vc);
-        reorderDeliver(msg);
+            scheduleCreditReturn(l, vc, q(at).now());
+        reorderDeliver(h);
         return;
     }
-    forward(at, msg, std::int32_t(l), vc);
+    forward(at, h, std::int32_t(l), vc);
 }
 
 void
-RoutedNetwork::reorderDeliver(const Message &msg)
+RoutedNetwork::reorderDeliver(MsgHandle h)
 {
+    const Message &msg = pool().at(h);
     PairState &ps = pairs_[pairKey(msg.src, msg.dst)];
     if (msg.netSeq != ps.nextSeq) {
         // An earlier injection of this pair is still in flight (adaptive
         // or oblivious routing took a different path); park this one.
         reorderHeld_[ctx().shardOf(msg.dst)]->inc();
-        ps.pending.emplace(msg.netSeq, msg);
+        ps.pending.emplace(msg.netSeq, h);
         return;
     }
-    arriveAtIngress(msg);
+    arriveAtIngress(h);
     ++ps.nextSeq;
     for (auto it = ps.pending.find(ps.nextSeq); it != ps.pending.end();
          it = ps.pending.find(ps.nextSeq)) {
@@ -401,11 +444,12 @@ RoutedNetwork::reorderDeliver(const Message &msg)
 }
 
 void
-RoutedNetwork::deliver(const Message &msg)
+RoutedNetwork::deliver(MsgHandle h)
 {
+    const Message &msg = pool().at(h);
     hopsPerMsg_[ctx().shardOf(msg.dst)]->sample(
         double(geom_.hopCount(msg.src, msg.dst)));
-    NiInterconnect::deliver(msg);
+    NiInterconnect::deliver(h);
 }
 
 void
@@ -416,12 +460,12 @@ RoutedNetwork::guardCheckQuiesce() const
         std::string where = "link " + std::to_string(link.from) + "->" +
                             std::to_string(link.to);
         if (!link.q.empty()) {
+            const Message &first = pool().at(link.q.front().h);
             throw guard::CheckFailure(
                 where + " still holds " + std::to_string(link.q.size()) +
                 " waiting message(s) at quiesce (first: " +
-                msgTypeName(link.q.front().msg.type) + " " +
-                std::to_string(link.q.front().msg.src) + "->" +
-                std::to_string(link.q.front().msg.dst) + ")");
+                msgTypeName(first.type) + " " + std::to_string(first.src) +
+                "->" + std::to_string(first.dst) + ")");
         }
         if (!bounded())
             continue;

@@ -119,10 +119,11 @@ class RoutedNetwork : public NiInterconnect
     RoutedNetwork(std::unique_ptr<SimContext> owned, NodeId num_nodes,
                   NetworkParams params);
 
-    /** A message waiting in an input buffer for one output link. */
+    /** A message waiting in an input buffer for one output link —
+     *  16 bytes of handle + routing state, not a 56-byte Message copy. */
     struct Entry
     {
-        Message msg;
+        MsgHandle h;
         std::uint8_t vc = 0;     //!< VC requested on this output link
         std::int32_t inLink = -1; //!< upstream link whose buffer holds the
                                   //!< message (-1: injection queue)
@@ -157,11 +158,13 @@ class RoutedNetwork : public NiInterconnect
         std::uint64_t faultGrants = 0;
     };
 
-    /** Per-(src, dst) ingress reordering state. */
+    /** Per-(src, dst) ingress reordering state. Parked messages stay in
+     *  the pool; the sorted map keys netSeq -> handle (quiesce reporting
+     *  reads the smallest parked sequence off begin()). */
     struct PairState
     {
         std::uint32_t nextSeq = 0;
-        std::map<std::uint32_t, Message> pending;
+        std::map<std::uint32_t, MsgHandle> pending;
     };
 
     int linkIndex(NodeId from, NodeId to) const;
@@ -197,26 +200,35 @@ class RoutedNetwork : public NiInterconnect
         return q(link.from).now() >= link.freeAt;
     }
 
-    /** Route @p msg (now at router @p at) onto its next output link. */
-    void forward(NodeId at, Message msg, std::int32_t in_link,
+    /** Route @p h's message (now at router @p at) onto its next output
+     *  link. */
+    void forward(NodeId at, MsgHandle h, std::int32_t in_link,
                  std::uint8_t in_vc);
     void enqueue(std::size_t l, Entry e);
     /** Arbitrate now if the link is idle, else arm the link engine. */
     void pump(std::size_t l);
     /** Schedule the coalesced drain event at freeAt (once). */
     void armEngine(std::size_t l);
-    /** Arbitration: grant the next credited message, else escape-reroute
-     *  a blocked adaptive one. @pre link is idle. */
+    /**
+     * Batched arbitration: retire the link's entire provably-ordered
+     * eligible queue in one event — repeated head grants at advancing
+     * virtual start times — stopping at the first decision (a skipped
+     * head, an exhausted credit view, an escape candidate) that a real
+     * drain event at freeAt must re-make with fresh credit state.
+     * @pre link is idle.
+     */
     void drainLink(std::size_t l);
-    void grant(std::size_t l, Entry e);
-    /** The wire-delayed credit for one freed (link, VC) buffer slot. */
-    void scheduleCreditReturn(std::size_t l, std::uint8_t vc);
-    void arriveAtRouter(std::size_t l, std::uint8_t vc, Message msg);
+    /** Grant @p e the wire at tick @p start (>= now within a batch). */
+    void grantAt(std::size_t l, Entry e, Tick start);
+    /** The wire-delayed credit for one freed (link, VC) buffer slot,
+     *  departing at tick @p from (the grant's virtual start). */
+    void scheduleCreditReturn(std::size_t l, std::uint8_t vc, Tick from);
+    void arriveAtRouter(std::size_t l, std::uint8_t vc, MsgHandle h);
     /** Pairwise-FIFO restoration in front of the ingress NI. */
-    void reorderDeliver(const Message &msg);
+    void reorderDeliver(MsgHandle h);
 
     /** Adds the route-length sample to the shared delivery stats. */
-    void deliver(const Message &msg) override;
+    void deliver(MsgHandle h) override;
 
     TopologyGeometry geom_;
     unsigned numVcs_ = 1;

@@ -32,8 +32,15 @@ namespace ltp
 class SmallFunction
 {
   public:
-    /** Sized for the largest hot-path lambda (this + Message + ints). */
-    static constexpr std::size_t inlineSize = 96;
+    /**
+     * Sized for the largest hot-path lambda: the cache controller's
+     * access-completion captures (this + Addr + Pc + flags + a 32-byte
+     * std::function + Tick = 72). Network events got far smaller when
+     * messages started traveling as 8-byte pool handles
+     * (net/message_pool.hh), which is what let this drop from 96 and
+     * with it every event slot and mailbox ring item.
+     */
+    static constexpr std::size_t inlineSize = 72;
 
     SmallFunction() = default;
 

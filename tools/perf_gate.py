@@ -29,6 +29,10 @@ Besides the pass/fail verdict, the gate prints a per-cell delta table
 (events/sec old -> new, %) and, when running under GitHub Actions
 (GITHUB_STEP_SUMMARY set), appends the same table as markdown to the
 job summary so a PR's perf movement is visible without opening logs.
+Both outputs also carry one geomean row per gated *config* ("base",
+"ltp-active", "mesh64-t1"): a change that only moves the routed-mesh
+cells (or only the p2p cells) is visible as such instead of being
+averaged into the overall number.
 """
 
 import argparse
@@ -107,7 +111,11 @@ def nearest_cell(key, candidates):
     return names[close[0]] if close else None
 
 
-def write_github_summary(rows, geomean, limit, failures):
+def geomean_of(ratios):
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def write_github_summary(rows, geomean, config_means, limit, failures):
     """Append the delta table to the GitHub Actions job summary."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -120,6 +128,9 @@ def write_github_summary(rows, geomean, limit, failures):
             delta = 100.0 * (fresh / base - 1.0) if base > 0 else 0.0
             f.write(f"| {kernel} | {config} | {base:,.0f} | {fresh:,.0f} "
                     f"| {delta:+.1f}% | {note} |\n")
+        for config, mean, n in config_means:
+            f.write(f"| *geomean* | *{config}* |  |  | "
+                    f"*{100.0 * (mean - 1.0):+.1f}%* | {n} cells |\n")
         if geomean is not None:
             verdict = "PASS" if not failures else "FAIL"
             f.write(f"\n**geomean ratio (gated cells): {geomean:.3f}** "
@@ -153,6 +164,7 @@ def main():
         failures.append(msg)
 
     ratios = []
+    ratios_by_config = {}  # gated config -> [ratio...]
     rows = []  # (kernel, config, base ev/s, fresh ev/s, note)
     print(f"{'kernel':<14}{'config':<12}{'base ev/s':>14}"
           f"{'fresh ev/s':>14}{'ratio':>8}{'delta':>9}")
@@ -185,6 +197,7 @@ def main():
                          f["eventsPerSec"], note))
             continue
         ratios.append(ratio)
+        ratios_by_config.setdefault(config, []).append(ratio)
         flag = "" if ratio >= cell_floor else "  << REGRESSION"
         print(f"{kernel:<14}{config:<12}{b['eventsPerSec']:>14.0f}"
               f"{f['eventsPerSec']:>14.0f}{ratio:>8.3f}{delta}{flag}")
@@ -195,9 +208,22 @@ def main():
                 f"{kernel}/{config}: events/sec fell to {ratio:.3f}x "
                 f"(per-cell floor {cell_floor:.3f}x)")
 
+    # Per-config geomeans first (informational): the overall gate number
+    # averages p2p and routed-mesh cells together, so a movement
+    # confined to one engine path is only visible per config.
+    config_means = []
+    for config in sorted(ratios_by_config):
+        rs = ratios_by_config[config]
+        config_means.append((config, geomean_of(rs), len(rs)))
+    if config_means:
+        print()
+        for config, mean, n in config_means:
+            print(f"geomean [{config:<12}] {mean:>8.3f}  "
+                  f"({n} cells, {100.0 * (mean - 1.0):+.1f}%)")
+
     geomean = None
     if ratios:
-        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        geomean = geomean_of(ratios)
         print(f"\ngeomean events/sec ratio: {geomean:.3f} "
               f"(limit {1.0 - args.threshold:.3f})")
         if geomean < 1.0 - args.threshold:
@@ -205,7 +231,8 @@ def main():
                 f"geomean events/sec fell to {geomean:.3f}x "
                 f"(limit {1.0 - args.threshold:.3f}x)")
 
-    write_github_summary(rows, geomean, 1.0 - args.threshold, failures)
+    write_github_summary(rows, geomean, config_means, 1.0 - args.threshold,
+                         failures)
 
     if failures:
         print(f"\nFAIL: {len(failures)} perf gate violation(s):")
